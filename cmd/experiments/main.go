@@ -1,0 +1,129 @@
+// Command experiments regenerates the paper's evaluation figures.
+//
+// Run everything at full fidelity (writes text tables to stdout and CSVs
+// next to -out):
+//
+//	experiments -out results/
+//
+// Or a single figure, quickly:
+//
+//	experiments -fig fig5 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"sweeper/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		figFlag  = flag.String("fig", "all", "experiment id (fig1, fig2, fig5..fig10) or 'all'")
+		quick    = flag.Bool("quick", false, "use the reduced-fidelity quick scale")
+		outDir   = flag.String("out", "", "directory for CSV output (optional)")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	sc := experiments.FullScale()
+	if *quick {
+		sc = experiments.QuickScale()
+	}
+	sc.Parallelism = *parallel
+
+	registry := experiments.Registry()
+	var ids []string
+	switch *figFlag {
+	case "all":
+		ids = experiments.Names()
+	case "claims":
+		start := time.Now()
+		claims := experiments.CheckClaims(sc)
+		experiments.RenderClaims(os.Stdout, claims)
+		fmt.Printf("(claims took %s)\n", time.Since(start).Round(time.Second))
+		return
+	default:
+		for _, id := range strings.Split(*figFlag, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := registry[id]; !ok {
+				log.Fatalf("unknown experiment %q; known: %s",
+					id, strings.Join(experiments.Names(), ", "))
+			}
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", id)
+		var tables []experiments.Table
+		if id == "fig6" {
+			// Fig6 has CDF curves beyond the summary table.
+			r := experiments.Fig6(sc)
+			tables = []experiments.Table{r.Summary}
+			experiments.RenderCDFChart(os.Stdout, r.Curves)
+			if *outDir != "" {
+				if err := writeCDFs(filepath.Join(*outDir, "fig6_cdf.csv"), r); err != nil {
+					log.Fatal(err)
+				}
+			}
+		} else {
+			tables = registry[id](sc)
+		}
+		for i := range tables {
+			t := &tables[i]
+			t.RenderDefault(os.Stdout)
+			fmt.Println()
+			if *outDir != "" {
+				f, err := os.Create(filepath.Join(*outDir, t.ID+".csv"))
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := t.WriteCSV(f); err != nil {
+					log.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		fmt.Printf("(%s took %s)\n\n", id, time.Since(start).Round(time.Second))
+	}
+}
+
+func writeCDFs(path string, r experiments.Fig6Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "config,context,at_mrps,latency_cycles,cdf"); err != nil {
+		return err
+	}
+	for _, c := range r.Curves {
+		for _, p := range c.CDF {
+			if _, err := fmt.Fprintf(f, "%s,%s,%.3f,%d,%.6f\n",
+				c.Config, c.Context, c.AtMrps, p.Value, p.Fraction); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

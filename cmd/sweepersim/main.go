@@ -1,0 +1,177 @@
+// Command sweepersim runs a single simulated-server configuration and
+// prints its measured results: throughput, memory bandwidth, the DRAM
+// access breakdown, latency percentiles and Sweeper activity.
+//
+// Example:
+//
+//	sweepersim -workload kvs -mode ddio -ways 2 -ring 1024 -packet 1024 \
+//	           -rate 30 -sweeper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sweeper/internal/core"
+	"sweeper/internal/machine"
+	"sweeper/internal/nic"
+	"sweeper/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweepersim: ")
+
+	var (
+		workloadName = flag.String("workload", "kvs", "workload: kvs, l3fwd, l3fwd-l1")
+		modeName     = flag.String("mode", "ddio", "injection: dma, ddio, idio, ideal")
+		ways         = flag.Int("ways", 2, "DDIO LLC ways")
+		ring         = flag.Int("ring", 1024, "RX buffers per core")
+		txSlots      = flag.Int("txslots", 0, "TX buffers per core (0 = workload default)")
+		packet       = flag.Uint64("packet", 1024, "packet/item size in bytes")
+		rate         = flag.Float64("rate", 20, "offered load in Mrps (open loop)")
+		queued       = flag.Int("queued", 0, "closed loop: keep D packets queued per core (overrides -rate)")
+		dynEpoch     = flag.Uint64("dynamic-ddio", 0, "IAT-style way controller epoch in cycles (0 = off)")
+		cores        = flag.Int("cores", 24, "networked cores")
+		xmem         = flag.Int("xmem", 0, "collocated X-Mem cores")
+		channels     = flag.Int("channels", 4, "DDR4 channels")
+		sweeperOn    = flag.Bool("sweeper", false, "enable Sweeper RX relinquish")
+		sweepTX      = flag.Bool("sweep-tx", false, "enable NIC-driven TX sweeping (§V-D)")
+		warmup       = flag.Uint64("warmup", 400_000, "warmup cycles")
+		measure      = flag.Uint64("measure", 800_000, "measurement cycles")
+		seed         = flag.Int64("seed", 1, "random seed")
+		mlp          = flag.Int("mlp", 0, "memory-level parallelism width (0 = default)")
+		nebula       = flag.Int("nebula", 0, "NeBuLa-style drop threshold (0 = off)")
+		spikeProb    = flag.Float64("spike-prob", 0, "per-request service spike probability (§VI-F)")
+		sanitize     = flag.Bool("sanitize", false, "flag use-after-relinquish reads")
+		tracePath    = flag.String("trace", "", "write a DRAM transaction trace CSV to this file")
+	)
+	flag.Parse()
+
+	cfg := machine.DefaultConfig()
+	cfg.NetCores = *cores
+	cfg.XMemCores = *xmem
+	cfg.DDIOWays = *ways
+	cfg.RingSlots = *ring
+	cfg.PacketBytes = *packet
+	cfg.ItemBytes = *packet
+	cfg.OfferedMrps = *rate
+	cfg.ClosedLoopDepth = *queued
+	cfg.Mem.Channels = *channels
+	cfg.Seed = *seed
+	if *txSlots > 0 {
+		cfg.TXSlots = *txSlots
+	}
+	cfg.Sweeper = core.Config{RXSweep: *sweeperOn, IssueCyclesPerLine: 1}
+	cfg.SweepTX = *sweepTX
+	if *sweepTX {
+		cfg.Sweeper.TXSweep = true
+	}
+	if *mlp > 0 {
+		cfg.MLPWidth = *mlp
+	}
+	cfg.NeBuLaDropDepth = *nebula
+	if *spikeProb > 0 {
+		cfg.SpikeProb = *spikeProb
+		cfg.SpikeMinCycles = 3_200   // 1us
+		cfg.SpikeMaxCycles = 320_000 // 100us
+	}
+	cfg.Sweeper.DebugUseAfterRelinquish = *sanitize
+	cfg.DynamicDDIOEpoch = *dynEpoch
+
+	switch *workloadName {
+	case "kvs":
+		cfg.Workload = machine.WorkloadKVS
+	case "l3fwd":
+		cfg.Workload = machine.WorkloadL3Fwd
+	case "l3fwd-l1":
+		cfg.Workload = machine.WorkloadL3FwdL1
+	default:
+		log.Fatalf("unknown workload %q", *workloadName)
+	}
+	switch *modeName {
+	case "dma":
+		cfg.NICMode = nic.ModeDMA
+	case "ddio":
+		cfg.NICMode = nic.ModeDDIO
+	case "idio":
+		cfg.NICMode = nic.ModeIDIO
+	case "ideal":
+		cfg.NICMode = nic.ModeIdeal
+	default:
+		log.Fatalf("unknown mode %q", *modeName)
+	}
+
+	m, err := machine.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sink, flush := machine.TraceCSV(f)
+		m.SetTraceSink(sink)
+		defer func() {
+			if err := flush(); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	r := m.Run(*warmup, *measure)
+	printResults(cfg, r)
+	if *sanitize {
+		if v := m.Sweeper().Violations(); len(v) > 0 {
+			fmt.Printf("sanitizer: %d use-after-relinquish reads detected\n", len(v))
+		} else {
+			fmt.Println("sanitizer: no use-after-relinquish reads")
+		}
+	}
+	_ = os.Stdout.Sync()
+}
+
+func printResults(cfg machine.Config, r machine.Results) {
+	fmt.Printf("config: %s %s", cfg.Workload, cfg.NICMode)
+	if cfg.NICMode == nic.ModeDDIO {
+		fmt.Printf(" %d-way", cfg.DDIOWays)
+	}
+	if cfg.Sweeper.RXSweep {
+		fmt.Printf(" +Sweeper")
+	}
+	fmt.Printf(", %d cores, %d RX buffers/core, %dB packets, %d channels\n",
+		cfg.NetCores, cfg.RingSlots, cfg.PacketBytes, cfg.Mem.Channels)
+
+	fmt.Printf("throughput:      %8.2f Mrps (%d requests served)\n", r.ThroughputMrps, r.Served)
+	fmt.Printf("memory bw:       %8.2f GB/s (%.0f%% of peak)\n", r.MemBWGBps, 100*r.MemBWUtilization)
+	fmt.Printf("dram latency:    mean %.0f  p50 %d  p99 %d cycles\n",
+		r.DRAMLatMean, r.DRAMLatP50, r.DRAMLatP99)
+	fmt.Printf("request latency: mean %.0f  p99 %d cycles (service %.0f)\n",
+		r.ReqLatMean, r.ReqLatP99, r.AvgServiceCycles)
+	if r.Offered > 0 {
+		fmt.Printf("drops:           %d / %d offered (%.4f%%)\n",
+			r.Dropped, r.Offered, 100*r.DropRate)
+	}
+	if r.XMemAccesses > 0 {
+		fmt.Printf("xmem:            IPC proxy %.3f\n", r.XMemIPC)
+	}
+	fmt.Printf("llc miss ratio:  %.3f\n", r.LLCMissRatio)
+
+	fmt.Println("memory accesses per request:")
+	for k := stats.AccessKind(0); k < stats.NumKinds; k++ {
+		if r.AccessesPerRequest[k] == 0 {
+			continue
+		}
+		fmt.Printf("  %-14s %7.3f\n", k, r.AccessesPerRequest[k])
+	}
+	if r.Sweeper.SweptLines > 0 {
+		fmt.Printf("sweeper: %d relinquishes, %d lines swept, %d dirty dropped (%.2f GB/s saved)\n",
+			r.Sweeper.Relinquishes, r.Sweeper.SweptLines,
+			r.Sweeper.DroppedDirtyLines, r.SweeperSavedGBps)
+	}
+}

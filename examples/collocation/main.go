@@ -1,0 +1,52 @@
+// Example: the §VI-E multi-tenant scenario. Twelve forwarder cores share
+// the server with twelve memory-intensive X-Mem instances; the LLC is
+// partitioned between the network's DDIO ways and the tenant. Sweeper
+// improves BOTH tenants at once: the forwarder loses its leak-induced
+// bandwidth tax and X-Mem gets its LLC ways back.
+package main
+
+import (
+	"fmt"
+
+	"sweeper"
+	"sweeper/internal/cache"
+)
+
+func main() {
+	const (
+		warmup  = 6_000_000
+		measure = 2_000_000
+		depth   = 32 // DPDK-style processing batch kept queued
+	)
+
+	fmt.Println("12x L3fwd (1KB packets, 2048-slot rings) + 12x X-Mem (2MB private sets)")
+	fmt.Println("disjoint LLC partitions: DDIO gets A ways, X-Mem the remaining 12-A")
+	fmt.Printf("\n%-8s %-10s %14s %14s\n", "(A,B)", "sweeper", "l3fwd Mrps", "xmem IPC")
+
+	for _, a := range []int{2, 4, 8} {
+		for _, sweep := range []bool{false, true} {
+			cfg := sweeper.DefaultConfig()
+			cfg.Workload = sweeper.WorkloadL3FwdL1
+			cfg.ItemBytes = 0
+			cfg.NetCores = 12
+			cfg.XMemCores = 12
+			cfg.PacketBytes = 1024
+			cfg.RingSlots = 2048
+			cfg.TXSlots = 2048
+			cfg.ClosedLoopDepth = depth
+			cfg.OfferedMrps = 0
+			cfg.NICWayMask = cache.MaskAll(a)
+			cfg.NetCPUWayMask = cache.MaskAll(a)
+			cfg.XMemWayMask = cache.MaskRange(a, 12)
+			cfg.DDIOWays = a
+			if sweep {
+				sweeper.EnableSweeper(&cfg)
+			}
+			r := sweeper.Run(cfg, warmup, measure)
+			fmt.Printf("(%d,%-2d)   %-10v %14.2f %14.3f\n",
+				a, 12-a, sweep, r.ThroughputMrps, r.XMemIPC)
+		}
+	}
+	fmt.Println("\nSweeper shifts the whole Pareto frontier toward the top-right corner")
+	fmt.Println("(higher forwarder throughput at the same or better tenant IPC).")
+}

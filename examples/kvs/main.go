@@ -1,0 +1,60 @@
+// Example: reproduce the core of the paper's Figure 5 claim on a reduced
+// sweep — the peak sustainable throughput of the MICA-like KVS as a
+// function of RX buffer provisioning, comparing plain 2-way DDIO, 2-way
+// DDIO + Sweeper, and the unrealistic Ideal-DDIO upper bound.
+//
+// Sweeper's point is visible directly: baseline DDIO degrades as buffers
+// deepen (bigger footprint, more consumed-buffer evictions), while Sweeper
+// stays near Ideal regardless of provisioning — breaking the shallow-vs-
+// deep buffering tradeoff.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"sweeper"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use full-fidelity windows (slower)")
+	flag.Parse()
+
+	sc := sweeper.QuickScale()
+	if *full {
+		sc = sweeper.FullScale()
+	}
+
+	variants := []struct {
+		name  string
+		mode  uint8
+		sweep bool
+	}{
+		{"DDIO 2-way", 1, false},
+		{"DDIO 2-way + Sweeper", 1, true},
+		{"Ideal-DDIO", 2, false},
+	}
+
+	fmt.Println("KVS peak sustainable throughput (Mrps) under the paper's SLO")
+	fmt.Printf("%-22s %12s %12s %12s\n", "", "512 buf", "1024 buf", "2048 buf")
+	for _, v := range variants {
+		fmt.Printf("%-22s", v.name)
+		for _, bufs := range []int{512, 1024, 2048} {
+			cfg := sweeper.DefaultConfig()
+			cfg.RingSlots = bufs
+			switch v.mode {
+			case 1:
+				cfg.NICMode = sweeper.ModeDDIO
+				cfg.DDIOWays = 2
+			case 2:
+				cfg.NICMode = sweeper.ModeIdeal
+			}
+			if v.sweep {
+				sweeper.EnableSweeper(&cfg)
+			}
+			pk := sweeper.PeakThroughput(cfg, sc)
+			fmt.Printf(" %12.2f", pk.At.ThroughputMrps)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,57 @@
+// Example: the §IV-B premature-eviction study. An L3 forwarder runs with D
+// unconsumed packets permanently queued in every core's RX ring (emulating
+// deep batched processing); the breakdown shows how consumed-buffer
+// evictions (RX Evct) dominate while premature evictions (CPU RX Rd)
+// appear only under space-constrained DDIO with deep queues — and how
+// Sweeper removes the consumed-eviction component.
+package main
+
+import (
+	"fmt"
+
+	"sweeper"
+	"sweeper/internal/stats"
+)
+
+func main() {
+	const (
+		warmup  = 6_000_000
+		measure = 2_000_000
+	)
+
+	configs := []struct {
+		name  string
+		ways  int
+		sweep bool
+	}{
+		{"DDIO 2-way", 2, false},
+		{"DDIO 12-way", 12, false},
+		{"DDIO 2-way + Sweeper", 2, true},
+	}
+
+	for _, depth := range []int{50, 250} {
+		fmt.Printf("\nL3 forwarder, 2048-slot rings, %d packets kept queued per core:\n", depth)
+		for _, c := range configs {
+			cfg := sweeper.DefaultConfig()
+			cfg.Workload = sweeper.WorkloadL3Fwd
+			cfg.ItemBytes = 0
+			cfg.PacketBytes = 1024
+			cfg.RingSlots = 2048
+			cfg.TXSlots = 2048 // the forwarder copies packets to TX
+			cfg.DDIOWays = c.ways
+			cfg.ClosedLoopDepth = depth
+			cfg.OfferedMrps = 0
+			if c.sweep {
+				sweeper.EnableSweeper(&cfg)
+			}
+			r := sweeper.Run(cfg, warmup, measure)
+			fmt.Printf("  %-22s %7.2f Mrps, %6.1f GB/s | consumed(RX Evct)=%.1f premature(CPU RX Rd)=%.1f TX Evct=%.1f per packet\n",
+				c.name, r.ThroughputMrps, r.MemBWGBps,
+				r.AccessesPerRequest[stats.RXEvct],
+				r.AccessesPerRequest[stats.CPURXRd],
+				r.AccessesPerRequest[stats.TXEvct])
+		}
+	}
+	fmt.Println("\nWith Sweeper, the remaining RX evictions match the CPU RX read misses:")
+	fmt.Println("every leak left is a premature eviction, exactly as in the paper's Fig. 7b.")
+}

@@ -1,0 +1,56 @@
+package sweeper
+
+import (
+	"io"
+
+	"sweeper/internal/experiments"
+)
+
+// Experiment harness re-exports: everything needed to regenerate the
+// paper's figures from application code (the cmd/experiments tool and the
+// repository's benchmarks are both built on these).
+
+// Scale controls simulation effort (window lengths, search depth,
+// parallelism).
+type Scale = experiments.Scale
+
+// Table is one reproduced figure panel; Cell one measured point.
+type (
+	Table = experiments.Table
+	Cell  = experiments.Cell
+)
+
+// PeakResult is the outcome of a peak-throughput search.
+type PeakResult = experiments.PeakResult
+
+// FullScale is the committed-results fidelity; QuickScale a faster,
+// coarser setting for benchmarks and smoke runs.
+func FullScale() Scale  { return experiments.FullScale() }
+func QuickScale() Scale { return experiments.QuickScale() }
+
+// PeakThroughput searches for cfg's peak sustainable load under the
+// paper's SLO (p99 ≤ 100x mean unloaded service time, no drops).
+func PeakThroughput(cfg Config, sc Scale) PeakResult {
+	return experiments.PeakThroughput(cfg, sc)
+}
+
+// DropFreePeak searches for the peak load with zero packet drops (§VI-F).
+func DropFreePeak(cfg Config, sc Scale) PeakResult {
+	return experiments.DropFreePeak(cfg, sc)
+}
+
+// Experiments returns the registry of figure harnesses keyed by id
+// ("fig1" ... "fig10").
+func Experiments() map[string]func(Scale) []Table {
+	return experiments.Registry()
+}
+
+// ExperimentNames lists the registered experiment ids.
+func ExperimentNames() []string { return experiments.Names() }
+
+// RenderTables pretty-prints reproduced panels, each in its primary view.
+func RenderTables(w io.Writer, tables []Table) {
+	for i := range tables {
+		tables[i].RenderDefault(w)
+	}
+}

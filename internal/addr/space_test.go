@@ -1,0 +1,170 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceLayoutNonOverlapping(t *testing.T) {
+	s := NewSpace(4, 1024*1024, 128*1024)
+	if s.NCores() != 4 {
+		t.Fatalf("NCores = %d", s.NCores())
+	}
+	// RX regions per core are disjoint and ordered.
+	for c := 0; c < 3; c++ {
+		if s.RXBase(c)+s.RXBytesPerCore() != s.RXBase(c+1) {
+			t.Fatalf("RX regions not contiguous at core %d", c)
+		}
+	}
+	// TX starts after all RX.
+	if s.TXBase(0) != s.RXBase(3)+s.RXBytesPerCore() {
+		t.Fatal("TX region overlaps RX")
+	}
+	// App allocations start after all TX and never overlap.
+	a := s.AllocApp(4096)
+	b := s.AllocApp(100)
+	cRegion := s.AllocApp(64)
+	if a < s.TXBase(3)+s.TXBytesPerCore() {
+		t.Fatal("app region overlaps TX")
+	}
+	if b < a+4096 {
+		t.Fatal("app regions overlap")
+	}
+	if cRegion != b+128 { // 100 rounds up to 128
+		t.Fatalf("allocation not line-rounded: %#x after %#x", cRegion, b)
+	}
+	if s.End() != cRegion+64 {
+		t.Fatalf("End = %#x", s.End())
+	}
+}
+
+func TestSpaceRoundsRingSizes(t *testing.T) {
+	s := NewSpace(2, 1000, 100) // both round up to line multiples
+	if s.RXBytesPerCore() != 1024 {
+		t.Fatalf("RX per core = %d, want 1024", s.RXBytesPerCore())
+	}
+	if s.TXBytesPerCore() != 128 {
+		t.Fatalf("TX per core = %d, want 128", s.TXBytesPerCore())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	s := NewSpace(3, 64*1024, 8*1024)
+	app := s.AllocApp(1 << 20)
+
+	cls, core := s.Classify(s.RXBase(1))
+	if cls != ClassRX || core != 1 {
+		t.Fatalf("RX base of core 1: %v/%d", cls, core)
+	}
+	cls, core = s.Classify(s.RXBase(2) + s.RXBytesPerCore() - LineBytes)
+	if cls != ClassRX || core != 2 {
+		t.Fatalf("last RX line of core 2: %v/%d", cls, core)
+	}
+	cls, core = s.Classify(s.TXBase(0))
+	if cls != ClassTX || core != 0 {
+		t.Fatalf("TX base: %v/%d", cls, core)
+	}
+	cls, core = s.Classify(app)
+	if cls != ClassOther || core != -1 {
+		t.Fatalf("app region: %v/%d", cls, core)
+	}
+	cls, _ = s.Classify(0)
+	if cls != ClassOther {
+		t.Fatal("null address must classify as Other")
+	}
+}
+
+func TestClassifyBoundaries(t *testing.T) {
+	s := NewSpace(2, 4096, 4096)
+	// One line before RX is Other; the first TX line is TX, and the line
+	// right after the last TX line is Other.
+	if cls, _ := s.Classify(s.RXBase(0) - LineBytes); cls != ClassOther {
+		t.Fatal("address before RX must be Other")
+	}
+	lastTX := s.TXBase(1) + s.TXBytesPerCore() - LineBytes
+	if cls, core := s.Classify(lastTX); cls != ClassTX || core != 1 {
+		t.Fatal("last TX line misclassified")
+	}
+	if cls, _ := s.Classify(lastTX + LineBytes); cls != ClassOther {
+		t.Fatal("address after TX must be Other")
+	}
+}
+
+// Property: every line of every core's RX/TX region classifies back to that
+// region and core.
+func TestClassifyRoundTripProperty(t *testing.T) {
+	s := NewSpace(8, 32*1024, 16*1024)
+	f := func(coreRaw uint8, offRaw uint16) bool {
+		core := int(coreRaw) % 8
+		rxOff := (uint64(offRaw) % s.RXBytesPerCore()) &^ uint64(LineBytes-1)
+		cls, c := s.Classify(s.RXBase(core) + rxOff)
+		if cls != ClassRX || c != core {
+			return false
+		}
+		txOff := (uint64(offRaw) % s.TXBytesPerCore()) &^ uint64(LineBytes-1)
+		cls, c = s.Classify(s.TXBase(core) + txOff)
+		return cls == ClassTX && c == core
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLines(t *testing.T) {
+	cases := []struct {
+		size uint64
+		want uint64
+	}{{0, 0}, {1, 1}, {64, 1}, {65, 2}, {1024, 16}, {1025, 17}}
+	for _, c := range cases {
+		if got := Lines(c.size); got != c.want {
+			t.Errorf("Lines(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestLineAddrs(t *testing.T) {
+	// Aligned full packet.
+	got := LineAddrs(nil, 1024, 128)
+	if len(got) != 2 || got[0] != 1024 || got[1] != 1088 {
+		t.Fatalf("aligned: %v", got)
+	}
+	// Unaligned range spanning an extra line.
+	got = LineAddrs(nil, 1000, 128) // covers [1000,1128) -> lines 960,1024,1088
+	if len(got) != 3 || got[0] != 960 || got[2] != 1088 {
+		t.Fatalf("unaligned: %v", got)
+	}
+	// Sub-line range.
+	got = LineAddrs(nil, 130, 4)
+	if len(got) != 1 || got[0] != 128 {
+		t.Fatalf("sub-line: %v", got)
+	}
+	// Reuses the destination slice.
+	buf := make([]uint64, 0, 8)
+	got = LineAddrs(buf, 0, 64)
+	if cap(got) != 8 {
+		t.Fatal("LineAddrs reallocated unnecessarily")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassRX.String() != "RX" || ClassTX.String() != "TX" || ClassOther.String() != "Other" {
+		t.Fatal("class labels wrong")
+	}
+}
+
+func TestSpacePanics(t *testing.T) {
+	mustPanic(t, "zero cores", func() { NewSpace(0, 64, 64) })
+	s := NewSpace(1, 64, 64)
+	mustPanic(t, "core out of range", func() { s.RXBase(1) })
+	mustPanic(t, "negative core", func() { s.TXBase(-1) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// countingSink tallies per-address writebacks for conservation checks.
+type countingSink struct {
+	writebacks map[uint64]int
+	reads      int
+}
+
+func (s *countingSink) DemandRead(now uint64, a uint64, src Requestor) uint64 {
+	s.reads++
+	return now + 80
+}
+
+func (s *countingSink) WritebackEvict(now uint64, a uint64) {
+	s.writebacks[a]++
+}
+
+func (s *countingSink) DMAWrite(now uint64, a uint64) {}
+
+// TestWritebackConservation checks the fundamental accounting law behind
+// the paper's bandwidth numbers: a line is written back to DRAM at most
+// once per "dirtying event" (a store or a NIC injection). Extra writebacks
+// would fabricate memory traffic; the test drives random traffic and
+// verifies the ledger never goes negative.
+func TestWritebackConservation(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		sink := &countingSink{writebacks: map[uint64]int{}}
+		h := NewHierarchy(smallConfig(), sink)
+		h.SetNICWays(2)
+		rng := rand.New(rand.NewSource(seed))
+
+		dirtied := map[uint64]int{}
+		for op := 0; op < 4000; op++ {
+			core := rng.Intn(2)
+			a := uint64(rng.Intn(512)) * 64
+			switch rng.Intn(7) {
+			case 0, 1:
+				h.CPURead(uint64(op), core, a)
+			case 2:
+				h.CPUWrite(uint64(op), core, a)
+				dirtied[a]++
+			case 3:
+				h.CPUWriteFull(uint64(op), core, a)
+				dirtied[a]++
+			case 4, 5:
+				h.NICWriteDDIO(uint64(op), core, a)
+				dirtied[a]++
+			case 6:
+				h.Sweep(uint64(op), core, a)
+			}
+			// CPUWrite on a clean cached line re-dirties it without a
+			// new "event" in our ledger only when it was already
+			// counted; the conservation direction we assert is
+			// writebacks <= dirtyings, which holds regardless.
+		}
+		for a, wb := range sink.writebacks {
+			if wb > dirtied[a] {
+				t.Fatalf("seed %d: line %#x written back %d times for %d dirtyings",
+					seed, a, wb, dirtied[a])
+			}
+		}
+	}
+}
+
+// TestSweeperSavesExactlyTheDirtyLines: for a closed loop of NIC-write then
+// CPU-consume then relinquish, the number of dirty lines dropped equals the
+// number of packets' lines — and DRAM sees zero RX writebacks.
+func TestSweeperSavesExactlyTheDirtyLines(t *testing.T) {
+	sink := &countingSink{writebacks: map[uint64]int{}}
+	h := NewHierarchy(smallConfig(), sink)
+	h.SetNICWays(2)
+
+	const lines = 500
+	for i := 0; i < lines; i++ {
+		a := uint64(0x100000) + uint64(i)*64
+		h.NICWriteDDIO(uint64(i*3), 0, a)
+		h.CPURead(uint64(i*3+1), 0, a)
+		if !h.Sweep(uint64(i*3+2), 0, a) {
+			t.Fatalf("line %d: sweep found nothing dirty", i)
+		}
+	}
+	_, dropped := h.Sweeps()
+	if dropped != lines {
+		t.Fatalf("dropped %d dirty lines, want %d", dropped, lines)
+	}
+	if len(sink.writebacks) != 0 {
+		t.Fatalf("%d addresses written back despite sweeping", len(sink.writebacks))
+	}
+}
+
+// TestConsumedBufferLeakWithoutSweeper is the paper's §IV-A in miniature:
+// the same loop without relinquish must write (almost) every consumed
+// buffer line back to DRAM once the DDIO ways churn.
+func TestConsumedBufferLeakWithoutSweeper(t *testing.T) {
+	sink := &countingSink{writebacks: map[uint64]int{}}
+	h := NewHierarchy(smallConfig(), sink)
+	h.SetNICWays(2)
+
+	// Streaming far more lines than the 2 DDIO ways hold (2 ways x 8
+	// sets = 16 lines) forces consumed-buffer evictions.
+	const lines = 500
+	for i := 0; i < lines; i++ {
+		a := uint64(0x200000) + uint64(i)*64
+		h.NICWriteDDIO(uint64(i*2), 0, a)
+		h.CPURead(uint64(i*2+1), 0, a)
+	}
+	var total int
+	for _, n := range sink.writebacks {
+		total += n
+	}
+	if total < lines/2 {
+		t.Fatalf("only %d consumed-buffer writebacks for %d lines", total, lines)
+	}
+}
+
+// TestRunawayBufferSpillover reproduces the §VI-C observation: without
+// Sweeper, network lines re-enter the LLC outside the DDIO ways via L2
+// victims, so network data occupies more of the LLC than its 2-way
+// allocation.
+func TestRunawayBufferSpillover(t *testing.T) {
+	sink := &countingSink{writebacks: map[uint64]int{}}
+	h := NewHierarchy(smallConfig(), sink)
+	h.SetNICWays(2)
+	isNet := func(a uint64) bool { return a >= 0x300000 && a < 0x400000 }
+
+	// Write+consume a rotating window of buffers repeatedly; consumed
+	// clean copies cascade L1->L2->LLC and stick in non-DDIO ways.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 64; i++ {
+			a := uint64(0x300000) + uint64(i)*64
+			h.NICWriteDDIO(uint64(round*1000+i*2), 0, a)
+			h.CPURead(uint64(round*1000+i*2+1), 0, a)
+		}
+	}
+	netLines := h.LLC().OccupancyByClass(isNet)
+	ddioCapacity := h.LLC().Sets() * 2
+	if netLines <= ddioCapacity {
+		t.Fatalf("no spillover: %d net lines within %d DDIO capacity",
+			netLines, ddioCapacity)
+	}
+}

@@ -1,0 +1,324 @@
+// Package cache implements the simulated cache hierarchy: set-associative
+// arrays with per-set LRU, private L1/L2 caches per core, and a shared
+// non-inclusive victim LLC with way-partitioning (DDIO ways, tenant
+// partitions) and sweep (invalidate-without-writeback) support.
+package cache
+
+import "fmt"
+
+const lineBytes = 64
+
+// State is the coherence/dirtiness state of a cached line. The simulator
+// models a single-socket system with one writer per line at a time, so a
+// three-state (I/Clean/Dirty) model captures everything the paper measures.
+type State uint8
+
+const (
+	// Invalid marks an empty way.
+	Invalid State = iota
+	// Clean holds data matching memory.
+	Clean
+	// Dirty holds data newer than memory; eviction requires a writeback
+	// unless the line is swept.
+	Dirty
+)
+
+// String returns a short label for the state.
+func (s State) String() string {
+	switch s {
+	case Clean:
+		return "Clean"
+	case Dirty:
+		return "Dirty"
+	default:
+		return "Invalid"
+	}
+}
+
+// WayMask restricts which ways of a set an insertion may allocate into.
+// Bit i set means way i is allowed. Masks implement DDIO way restriction
+// and the LLC tenant partitions of §VI-E.
+type WayMask uint32
+
+// MaskAll returns a mask allowing the first n ways.
+func MaskAll(n int) WayMask {
+	if n >= 32 {
+		return ^WayMask(0)
+	}
+	return WayMask(1)<<uint(n) - 1
+}
+
+// MaskRange returns a mask allowing ways [lo, hi).
+func MaskRange(lo, hi int) WayMask {
+	return MaskAll(hi) &^ MaskAll(lo)
+}
+
+// Count returns how many ways the mask allows.
+func (m WayMask) Count() int {
+	n := 0
+	for m != 0 {
+		n += int(m & 1)
+		m >>= 1
+	}
+	return n
+}
+
+type line struct {
+	addr  uint64 // line-aligned address; meaningful only when state != Invalid
+	state State
+	lru   uint64
+}
+
+// Victim describes the outcome of an insertion: the displaced line if any,
+// and whether the insertion merged into an already-present line.
+type Victim struct {
+	Addr   uint64
+	Dirty  bool
+	Valid  bool // false when nothing was displaced
+	Merged bool // true when the line was already present (update in place)
+}
+
+// SetAssoc is a single set-associative cache array.
+type SetAssoc struct {
+	name  string
+	sets  int
+	ways  int
+	lines []line
+	stamp uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// NewSetAssoc builds a cache of the given capacity and associativity. The
+// number of sets (capacity / 64B / ways) need not be a power of two —
+// Table I's 36MB 12-way LLC has 49152 sets, and like real hardware the
+// model simply distributes line addresses across all sets (modulo here,
+// a hash in silicon).
+func NewSetAssoc(name string, capacityBytes uint64, ways int) *SetAssoc {
+	if ways <= 0 || ways > 32 {
+		panic(fmt.Sprintf("cache %s: ways %d out of range [1,32]", name, ways))
+	}
+	nLines := capacityBytes / lineBytes
+	if nLines == 0 || nLines%uint64(ways) != 0 {
+		panic(fmt.Sprintf("cache %s: capacity %dB not divisible into %d ways",
+			name, capacityBytes, ways))
+	}
+	sets := int(nLines / uint64(ways))
+	return &SetAssoc{
+		name:  name,
+		sets:  sets,
+		ways:  ways,
+		lines: make([]line, sets*ways),
+	}
+}
+
+// Name returns the cache's label.
+func (c *SetAssoc) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// CapacityBytes returns the total capacity.
+func (c *SetAssoc) CapacityBytes() uint64 {
+	return uint64(c.sets) * uint64(c.ways) * lineBytes
+}
+
+// Hits and Misses return cumulative lookup outcomes.
+func (c *SetAssoc) Hits() uint64   { return c.hits }
+func (c *SetAssoc) Misses() uint64 { return c.misses }
+
+// MissRatio returns misses / lookups, or 0 with no lookups.
+func (c *SetAssoc) MissRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+func (c *SetAssoc) setIndex(a uint64) int {
+	return int((a / lineBytes) % uint64(c.sets))
+}
+
+func (c *SetAssoc) set(a uint64) []line {
+	s := c.setIndex(a)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+func (c *SetAssoc) find(a uint64) *line {
+	set := c.set(a)
+	for i := range set {
+		if set[i].state != Invalid && set[i].addr == a {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Lookup probes for the line, updating LRU and hit/miss statistics. It
+// returns the line's state (Invalid on miss).
+func (c *SetAssoc) Lookup(a uint64) State {
+	c.stamp++
+	if ln := c.find(a); ln != nil {
+		ln.lru = c.stamp
+		c.hits++
+		return ln.state
+	}
+	c.misses++
+	return Invalid
+}
+
+// Peek probes without touching LRU or statistics.
+func (c *SetAssoc) Peek(a uint64) State {
+	if ln := c.find(a); ln != nil {
+		return ln.state
+	}
+	return Invalid
+}
+
+// SetDirty marks a present line dirty (a write hit). It reports whether the
+// line was present.
+func (c *SetAssoc) SetDirty(a uint64) bool {
+	c.stamp++
+	if ln := c.find(a); ln != nil {
+		ln.state = Dirty
+		ln.lru = c.stamp
+		return true
+	}
+	return false
+}
+
+// Insert places the line into the cache with the given dirtiness. If the
+// line is already present it is updated in place (dirty state is OR-ed, LRU
+// refreshed) regardless of mask. Otherwise the LRU way among those allowed
+// by mask is replaced and returned as the victim. A zero mask panics: the
+// caller must always allow at least one way.
+func (c *SetAssoc) Insert(a uint64, dirty bool, mask WayMask) Victim {
+	c.stamp++
+	if ln := c.find(a); ln != nil {
+		if dirty {
+			ln.state = Dirty
+		}
+		ln.lru = c.stamp
+		return Victim{Merged: true}
+	}
+	if mask == 0 {
+		panic(fmt.Sprintf("cache %s: insert with empty way mask", c.name))
+	}
+	set := c.set(a)
+	victimIdx := -1
+	var oldest uint64
+	for i := range set {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if set[i].state == Invalid {
+			victimIdx = i
+			break
+		}
+		if victimIdx == -1 || set[i].lru < oldest {
+			victimIdx = i
+			oldest = set[i].lru
+		}
+	}
+	if victimIdx == -1 {
+		panic(fmt.Sprintf("cache %s: way mask %#x selects no ways of %d",
+			c.name, mask, c.ways))
+	}
+	v := Victim{}
+	old := &set[victimIdx]
+	if old.state != Invalid {
+		v = Victim{Addr: old.addr, Dirty: old.state == Dirty, Valid: true}
+	}
+	st := Clean
+	if dirty {
+		st = Dirty
+	}
+	*old = line{addr: a, state: st, lru: c.stamp}
+	return v
+}
+
+// Invalidate drops the line without any writeback (the hardware primitive
+// behind both DMA invalidations and Sweeper's sweep message). It reports
+// whether a line was present and whether it was dirty.
+func (c *SetAssoc) Invalidate(a uint64) (present, dirty bool) {
+	if ln := c.find(a); ln != nil {
+		dirty = ln.state == Dirty
+		ln.state = Invalid
+		return true, dirty
+	}
+	return false, false
+}
+
+// MakeClean marks a present line clean without removing it (the CLWB
+// behaviour after its writeback has been issued). It reports presence and
+// whether the line had been dirty.
+func (c *SetAssoc) MakeClean(a uint64) (present, wasDirty bool) {
+	if ln := c.find(a); ln != nil {
+		wasDirty = ln.state == Dirty
+		ln.state = Clean
+		return true, wasDirty
+	}
+	return false, false
+}
+
+// Extract removes the line, returning its state before removal. Used when a
+// line migrates between levels carrying its dirtiness with it.
+func (c *SetAssoc) Extract(a uint64) State {
+	if ln := c.find(a); ln != nil {
+		st := ln.state
+		ln.state = Invalid
+		return st
+	}
+	return Invalid
+}
+
+// OccupancyByClass counts valid lines for which classify returns true, for
+// occupancy studies and tests.
+func (c *SetAssoc) OccupancyByClass(classify func(addr uint64) bool) int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].state != Invalid && classify(c.lines[i].addr) {
+			n++
+		}
+	}
+	return n
+}
+
+// ValidLines returns the number of non-invalid lines.
+func (c *SetAssoc) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// checkSetInvariant verifies no duplicate tags within a set; used by tests.
+func (c *SetAssoc) checkSetInvariant() error {
+	for s := 0; s < c.sets; s++ {
+		set := c.lines[s*c.ways : (s+1)*c.ways]
+		seen := make(map[uint64]bool, c.ways)
+		for i := range set {
+			if set[i].state == Invalid {
+				continue
+			}
+			if seen[set[i].addr] {
+				return fmt.Errorf("cache %s: duplicate line %#x in set %d",
+					c.name, set[i].addr, s)
+			}
+			seen[set[i].addr] = true
+			if c.setIndex(set[i].addr) != s {
+				return fmt.Errorf("cache %s: line %#x in wrong set %d",
+					c.name, set[i].addr, s)
+			}
+		}
+	}
+	return nil
+}

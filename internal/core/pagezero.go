@@ -1,0 +1,79 @@
+package core
+
+import "sweeper/internal/addr"
+
+// This file models the OS-side mitigation for the privacy concern raised in
+// §V-B: a process could invoke clsweep on a freshly zeroed page to drop the
+// zeroed cache blocks before they reach memory, then read the previous
+// owner's stale values from DRAM. The paper's fix is a kernel extension that
+// CLWBs every block of a page after zeroing it, but only for pages handed to
+// processes that requested clsweep permission via a dedicated system call.
+
+// PageBytes is the page granularity of the recycling model.
+const PageBytes = 4096
+
+// ZeroHardware is the subset of hierarchy behaviour page zeroing needs.
+type ZeroHardware interface {
+	CPUWrite(now uint64, core int, a uint64) uint64
+	CLWB(now uint64, owner int, a uint64) bool
+}
+
+// PageGuard implements the kernel policy: it zeroes pages on ownership
+// transfer and, for sweep-capable recipients, forces the zeroed blocks to
+// memory with CLWB so no stale data can be resurrected.
+type PageGuard struct {
+	hw ZeroHardware
+
+	sweepCapable map[int]bool // process (modeled per-core) opt-in state
+
+	zeroedPages    uint64
+	clwbLines      uint64
+	clwbWritebacks uint64
+}
+
+// NewPageGuard creates the guard over the given hardware.
+func NewPageGuard(hw ZeroHardware) *PageGuard {
+	if hw == nil {
+		panic("core: nil ZeroHardware")
+	}
+	return &PageGuard{hw: hw, sweepCapable: make(map[int]bool)}
+}
+
+// GrantClsweep models the dedicated system call that marks a process
+// (identified here by its core) as permitted to execute clsweep in
+// userspace. Pages later allocated to it get the CLWB treatment.
+func (g *PageGuard) GrantClsweep(core int) { g.sweepCapable[core] = true }
+
+// IsSweepCapable reports whether the process on core opted in.
+func (g *PageGuard) IsSweepCapable(core int) bool { return g.sweepCapable[core] }
+
+// TransferPage zeroes the page at pageAddr and transfers ownership to the
+// process on core newOwner, returning the completion cycle. If the new
+// owner is sweep-capable, every zeroed block is written back with CLWB so a
+// subsequent clsweep cannot expose the previous owner's data.
+func (g *PageGuard) TransferPage(now uint64, newOwner int, pageAddr uint64) uint64 {
+	page := pageAddr &^ uint64(PageBytes-1)
+	t := now
+	for a := page; a < page+PageBytes; a += addr.LineBytes {
+		t = g.hw.CPUWrite(t, newOwner, a)
+	}
+	if g.sweepCapable[newOwner] {
+		for a := page; a < page+PageBytes; a += addr.LineBytes {
+			if g.hw.CLWB(t, newOwner, a) {
+				g.clwbWritebacks++
+			}
+			g.clwbLines++
+			t++ // CLWB issue cost
+		}
+	}
+	g.zeroedPages++
+	return t
+}
+
+// ZeroedPages returns how many pages were transferred.
+func (g *PageGuard) ZeroedPages() uint64 { return g.zeroedPages }
+
+// CLWBStats returns CLWB instructions issued and writebacks they triggered.
+func (g *PageGuard) CLWBStats() (lines, writebacks uint64) {
+	return g.clwbLines, g.clwbWritebacks
+}

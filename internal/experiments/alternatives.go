@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"sweeper/internal/machine"
+	"sweeper/internal/nic"
+)
+
+// Alternatives is an extension experiment placing the related-work
+// mechanisms of §VII next to Sweeper on a common footing (the KVS with
+// deep, 2048-buffer rings, where leaks are worst):
+//
+//   - plain 2-way DDIO (the default baseline),
+//   - IAT-style dynamic DDIO way allocation (grows/shrinks the ways by
+//     observed traffic; delays the leak's onset, does not remove it),
+//   - IDIO-style L2 packet steering (adds private-cache capacity for
+//     buffers, at the cost of displacing the core's working set),
+//   - 2-way DDIO + Sweeper (removes the wasteful writebacks at the root),
+//   - Ideal-DDIO (the upper bound).
+//
+// The paper argues these families are orthogonal: capacity techniques delay
+// leaks, Sweeper eliminates their cost. The harness shows exactly that.
+func Alternatives(sc Scale) []Table {
+	type alt struct {
+		name  string
+		apply func(machine.Config) machine.Config
+	}
+	alts := []alt{
+		{"DDIO 2 Ways", func(c machine.Config) machine.Config {
+			return DDIOVariant(2, false).Apply(c)
+		}},
+		{"IAT dynamic ways", func(c machine.Config) machine.Config {
+			c = DDIOVariant(2, false).Apply(c)
+			c.DynamicDDIOEpoch = 250_000
+			return c
+		}},
+		{"IDIO L2 steering", func(c machine.Config) machine.Config {
+			c.NICMode = nic.ModeIDIO
+			return c
+		}},
+		{"DDIO 2 Ways + Sweeper", func(c machine.Config) machine.Config {
+			return DDIOVariant(2, true).Apply(c)
+		}},
+		{"Ideal DDIO", func(c machine.Config) machine.Config {
+			return IdealVariant().Apply(c)
+		}},
+	}
+
+	results := make([]PeakResult, len(alts))
+	parallelFor(len(alts), sc, func(i int) {
+		results[i] = PeakThroughput(alts[i].apply(KVSConfig(1024, 2048)), sc)
+	})
+
+	t := Table{
+		ID:     "alternatives",
+		Title:  "Related-work mechanisms vs Sweeper (KVS, 2048 buf/core, extension)",
+		Metric: "mrps",
+	}
+	for i, a := range alts {
+		t.Cells = append(t.Cells,
+			CellFromResults("2048 buf", a.name, results[i].At).
+				WithExtra("peak_offered_mrps", results[i].PeakMrps))
+	}
+	return []Table{t}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RenderCDFChart draws Figure 6's latency CDFs as an ASCII chart: one
+// column block per context ("peak", "iso"), curves overlaid with one marker
+// character each — a terminal rendition of the paper's two panels.
+func RenderCDFChart(w io.Writer, curves []LatencyCurve) {
+	for _, ctx := range []string{"peak", "iso"} {
+		var sel []LatencyCurve
+		for _, c := range curves {
+			if c.Context == ctx && len(c.CDF) > 0 {
+				sel = append(sel, c)
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "DRAM access latency CDF — %s\n", ctx)
+		renderCDFPanel(w, sel)
+		fmt.Fprintln(w)
+	}
+}
+
+const (
+	cdfRows = 12
+	cdfCols = 64
+)
+
+var cdfMarkers = []byte{'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'}
+
+func renderCDFPanel(w io.Writer, curves []LatencyCurve) {
+	// X scale: up to the largest p99 among the curves (linear).
+	var xMax uint64
+	for _, c := range curves {
+		if c.P99 > xMax {
+			xMax = c.P99
+		}
+	}
+	if xMax == 0 {
+		xMax = 1
+	}
+
+	grid := make([][]byte, cdfRows)
+	for r := range grid {
+		grid[r] = make([]byte, cdfCols)
+		for i := range grid[r] {
+			grid[r][i] = ' '
+		}
+	}
+	for ci, c := range curves {
+		marker := cdfMarkers[ci%len(cdfMarkers)]
+		for _, p := range c.CDF {
+			if p.Value > xMax {
+				break
+			}
+			col := int(float64(p.Value) / float64(xMax) * float64(cdfCols-1))
+			row := cdfRows - 1 - int(p.Fraction*float64(cdfRows-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if grid[row][col] == ' ' || grid[row][col] == marker {
+				grid[row][col] = marker
+			} else {
+				grid[row][col] = '*' // overlap
+			}
+		}
+	}
+	for r := 0; r < cdfRows; r++ {
+		frac := float64(cdfRows-1-r) / float64(cdfRows-1)
+		fmt.Fprintf(w, "  %4.2f |%s\n", frac, string(grid[r]))
+	}
+	fmt.Fprintf(w, "       +%s\n", dashes(cdfCols))
+	fmt.Fprintf(w, "        0%*s%d cycles\n", cdfCols-len(fmt.Sprint(xMax)), "", xMax)
+	for ci, c := range curves {
+		fmt.Fprintf(w, "        %c: %-24s %6.1f Mrps  mean %6.0f  p99 %6d\n",
+			cdfMarkers[ci%len(cdfMarkers)], c.Config, c.AtMrps, c.Mean, c.P99)
+	}
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sweeper/internal/core"
+	"sweeper/internal/machine"
+	"sweeper/internal/nic"
+)
+
+// Variant is one packet-injection baseline (or baseline+Sweeper) as swept
+// across the paper's figures.
+type Variant struct {
+	Name    string
+	Mode    nic.Mode
+	Ways    int // DDIO ways; ignored for DMA/Ideal
+	Sweeper bool
+}
+
+// Apply stamps the variant onto a config.
+func (v Variant) Apply(cfg machine.Config) machine.Config {
+	cfg.NICMode = v.Mode
+	if v.Mode == nic.ModeDDIO {
+		cfg.DDIOWays = v.Ways
+	}
+	cfg.Sweeper = core.Config{RXSweep: v.Sweeper, IssueCyclesPerLine: 1}
+	return cfg
+}
+
+// DMAVariant, IdealVariant and DDIOVariant build the paper's baselines.
+func DMAVariant() Variant   { return Variant{Name: "DMA", Mode: nic.ModeDMA} }
+func IdealVariant() Variant { return Variant{Name: "Ideal DDIO", Mode: nic.ModeIdeal} }
+
+// DDIOVariant returns an n-way DDIO configuration, optionally with Sweeper.
+func DDIOVariant(ways int, sweeper bool) Variant {
+	name := fmt.Sprintf("DDIO %d Ways", ways)
+	if sweeper {
+		name += " + Sweeper"
+	}
+	return Variant{Name: name, Mode: nic.ModeDDIO, Ways: ways, Sweeper: sweeper}
+}
+
+// ddioPairs returns DDIO n-way with and without Sweeper for each way count.
+func ddioPairs(ways ...int) []Variant {
+	var out []Variant
+	for _, w := range ways {
+		out = append(out, DDIOVariant(w, false), DDIOVariant(w, true))
+	}
+	return out
+}
+
+// KVSConfig returns the paper's KVS machine: 24 cores, item-sized packets,
+// the given RX ring depth, seeded deterministically.
+func KVSConfig(itemBytes uint64, ringSlots int) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Workload = machine.WorkloadKVS
+	cfg.ItemBytes = itemBytes
+	cfg.PacketBytes = itemBytes
+	cfg.RingSlots = ringSlots
+	cfg.TXSlots = 128
+	return cfg
+}
+
+// L3FwdConfig returns the §IV-B forwarder machine: 2048-deep RX and TX
+// rings of MTU-sized packets and the 16k-rule table.
+func L3FwdConfig(ringSlots int) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Workload = machine.WorkloadL3Fwd
+	cfg.PacketBytes = 1024
+	cfg.ItemBytes = 0
+	cfg.RingSlots = ringSlots
+	// The forwarder copies every packet it receives, so its TX ring
+	// mirrors the RX ring's provisioning.
+	cfg.TXSlots = ringSlots
+	return cfg
+}
+
+// CollocationConfig returns the §VI-E machine: 12 forwarder cores with an
+// L1-resident table collocated with 12 X-Mem instances.
+func CollocationConfig() machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Workload = machine.WorkloadL3FwdL1
+	cfg.NetCores = 12
+	cfg.XMemCores = 12
+	cfg.PacketBytes = 1024
+	cfg.ItemBytes = 0
+	cfg.RingSlots = 2048
+	cfg.TXSlots = 2048
+	return cfg
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import "fmt"
+
+// Policies is an extension experiment beyond the paper's figures: it puts
+// the §II/§VII related-work buffer policies side by side on the §VI-F
+// spiky-service workload —
+//
+//   - deep buffering (the robust-but-leaky default),
+//   - ResQ-style shallow provisioning (fits the DDIO ways, drops under
+//     bursts),
+//   - NeBuLa-style proactive dropping (deep ring, bounded queue depth),
+//   - deep buffering with Sweeper (the paper's answer).
+//
+// Each policy reports its drop-free peak plus latency and drop behaviour
+// at that peak, exposing the tradeoff Sweeper dissolves.
+func Policies(sc Scale) []Table {
+	type policy struct {
+		name      string
+		ring      int
+		dropDepth int
+		sweeper   bool
+	}
+	policies := []policy{
+		{name: "Deep 2048", ring: 2048},
+		{name: "ResQ shallow 128", ring: 128},
+		{name: "NeBuLa drop@64", ring: 2048, dropDepth: 64},
+		{name: "Deep 2048 + Sweeper", ring: 2048, sweeper: true},
+	}
+
+	build := func(p policy) PeakResult {
+		cfg := KVSConfig(1024, p.ring)
+		cfg.SpikeProb = 0.01
+		cfg.SpikeMinCycles = 3_200
+		cfg.SpikeMaxCycles = 320_000
+		cfg.NeBuLaDropDepth = p.dropDepth
+		cfg = DDIOVariant(2, p.sweeper).Apply(cfg)
+		return DropFreePeak(cfg, sc)
+	}
+
+	results := make([]PeakResult, len(policies))
+	parallelFor(len(policies), sc, func(i int) { results[i] = build(policies[i]) })
+
+	t := Table{
+		ID:     "policies",
+		Title:  "Buffer-policy comparison under spiky service (extension)",
+		Metric: "dropfree_peak_mrps",
+	}
+	for i, p := range policies {
+		pk := results[i]
+		t.Cells = append(t.Cells,
+			CellFromResults("spiky KVS", p.name, pk.At).
+				WithExtra("dropfree_peak_mrps", pk.PeakMrps).
+				WithExtra("p99_req", float64(pk.At.ReqLatP99)).
+				WithExtra("ring", float64(p.ring)))
+	}
+	return []Table{t}
+}
+
+// describePolicy documents the intent of each row for reports.
+func describePolicy(name string) string {
+	switch name {
+	case "Deep 2048":
+		return "burst-resilient but leaks consumed buffers"
+	case "ResQ shallow 128":
+		return "LLC-resident buffers, fragile to bursts"
+	case "NeBuLa drop@64":
+		return "bounds occupancy by proactively dropping"
+	case "Deep 2048 + Sweeper":
+		return "deep buffers with the leak removed"
+	default:
+		return fmt.Sprintf("unknown policy %q", name)
+	}
+}

@@ -1,0 +1,196 @@
+// Package machine assembles the full simulated server — cores, cache
+// hierarchy, NoC, DRAM, NIC, Sweeper and workloads — runs warmup and
+// measurement windows, and reports the metrics the paper plots: throughput
+// (Mrps), memory bandwidth (GB/s), the per-request DRAM-access breakdown,
+// DRAM and end-to-end latency distributions, packet drop rates and the
+// X-Mem IPC proxy.
+package machine
+
+import (
+	"fmt"
+
+	"sweeper/internal/cache"
+	"sweeper/internal/core"
+	"sweeper/internal/mem"
+	"sweeper/internal/nic"
+)
+
+// WorkloadKind selects the networked application.
+type WorkloadKind uint8
+
+const (
+	// WorkloadKVS is the MICA-like key-value store (§IV-A).
+	WorkloadKVS WorkloadKind = iota
+	// WorkloadL3Fwd is the 16k-rule L3 forwarder (§IV-B).
+	WorkloadL3Fwd
+	// WorkloadL3FwdL1 is the L1-resident-table forwarder (§VI-E).
+	WorkloadL3FwdL1
+)
+
+// String names the workload.
+func (w WorkloadKind) String() string {
+	switch w {
+	case WorkloadKVS:
+		return "kvs"
+	case WorkloadL3Fwd:
+		return "l3fwd"
+	case WorkloadL3FwdL1:
+		return "l3fwd-l1"
+	default:
+		return fmt.Sprintf("workload(%d)", uint8(w))
+	}
+}
+
+// Config fully describes one simulated configuration. DefaultConfig returns
+// the paper's Table I server; experiments override the swept knobs.
+type Config struct {
+	// NetCores run the networked workload; XMemCores run collocated
+	// X-Mem instances (§VI-E). Table I's server has 24 cores total.
+	NetCores  int
+	XMemCores int
+
+	// FreqHz is the core clock (3.2 GHz).
+	FreqHz float64
+
+	// Cache and Mem configure the hierarchy and DRAM. Cache.NCores is
+	// overwritten with NetCores+XMemCores during assembly.
+	Cache cache.Config
+	Mem   mem.Config
+
+	// NICMode selects DMA, DDIO, IDIO or Ideal-DDIO injection; DDIOWays
+	// is the LLC way allocation under DDIO.
+	NICMode  nic.Mode
+	DDIOWays int
+
+	// DynamicDDIOEpoch, when positive, enables an IAT-style controller
+	// (related work, §VII): every epoch (in cycles) the DDIO way
+	// allocation is re-evaluated — ways grow while network leaks dominate
+	// recent DRAM traffic and shrink while application traffic does,
+	// within [2, LLCWays].
+	DynamicDDIOEpoch uint64
+
+	// RingSlots is RX descriptors per core ("receive buffers per core");
+	// PacketBytes the MTU/slot size; TXSlots the per-core transmit ring
+	// depth (responses recycle quickly, so a modest window suffices).
+	RingSlots   int
+	PacketBytes uint64
+	TXSlots     int
+
+	// Workload selects the application; ItemBytes sizes KVS items (the
+	// paper pairs packet size with item size).
+	Workload  WorkloadKind
+	ItemBytes uint64
+
+	// Sweeper configures the paper's mechanism; SweepTX additionally
+	// sets the Work Queue SweepBuffer bit on every transmission.
+	Sweeper core.Config
+	SweepTX bool
+
+	// Traffic: OfferedMrps drives the open-loop Poisson generator;
+	// a positive ClosedLoopDepth switches to the §IV-B keep-D-queued
+	// closed loop instead.
+	OfferedMrps     float64
+	ClosedLoopDepth int
+
+	// NeBuLaDropDepth, when positive, enables the related-work baseline
+	// of proactive packet dropping (§II-C): the NIC drops arrivals once
+	// a ring holds that many unconsumed packets, bounding buffer
+	// occupancy by policy.
+	NeBuLaDropDepth int
+
+	// NICWayMask, XMemWayMask and NetCPUWayMask, when non-zero, override
+	// the LLC allocation masks for the NIC, the X-Mem cores and the
+	// networked cores respectively (the §VI-E partition scenarios).
+	NICWayMask    cache.WayMask
+	XMemWayMask   cache.WayMask
+	NetCPUWayMask cache.WayMask
+
+	// Service-time spikes (§VI-F): with probability SpikeProb a request
+	// suffers an extra delay uniform in [SpikeMinCycles, SpikeMaxCycles].
+	SpikeProb      float64
+	SpikeMinCycles uint64
+	SpikeMaxCycles uint64
+
+	// PollCycles is the fixed per-request dispatch overhead.
+	PollCycles uint64
+
+	// MLPWidth is the cores' memory-level parallelism: independent
+	// accesses kept in flight concurrently (MSHR-bounded overlap of the
+	// Table I OoO cores).
+	MLPWidth int
+
+	// WarmLLC pre-fills the LLC with dirty application data (KVS log
+	// lines) so short measurement windows see steady-state eviction
+	// behaviour instead of a cold 36MB cache slowly filling. Only
+	// meaningful for the KVS, whose write stream takes millions of
+	// cycles to churn the LLC naturally.
+	WarmLLC bool
+
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the Table I system: 24 cores at 3.2 GHz, 48KB L1d /
+// 1.25MB L2 / 36MB 12-way LLC, four DDR4-3200 channels, 2-way DDIO, 1024
+// RX buffers per core of 1KB, the write-heavy KVS, Sweeper off.
+func DefaultConfig() Config {
+	return Config{
+		NetCores:    24,
+		FreqHz:      3.2e9,
+		Cache:       cache.DefaultConfig(24),
+		Mem:         mem.DefaultConfig(),
+		NICMode:     nic.ModeDDIO,
+		DDIOWays:    2,
+		RingSlots:   1024,
+		PacketBytes: 1024,
+		TXSlots:     128,
+		Workload:    WorkloadKVS,
+		ItemBytes:   1024,
+		Sweeper:     core.Config{RXSweep: false, IssueCyclesPerLine: 1},
+		OfferedMrps: 10,
+		PollCycles:  50,
+		MLPWidth:    12,
+		WarmLLC:     true,
+		Seed:        1,
+	}
+}
+
+// Validate reports configuration errors before assembly.
+func (c *Config) Validate() error {
+	switch {
+	case c.NetCores <= 0:
+		return fmt.Errorf("machine: NetCores must be positive, got %d", c.NetCores)
+	case c.XMemCores < 0:
+		return fmt.Errorf("machine: XMemCores must be non-negative, got %d", c.XMemCores)
+	case c.FreqHz <= 0:
+		return fmt.Errorf("machine: FreqHz must be positive, got %g", c.FreqHz)
+	case c.RingSlots <= 0:
+		return fmt.Errorf("machine: RingSlots must be positive, got %d", c.RingSlots)
+	case c.PacketBytes == 0:
+		return fmt.Errorf("machine: PacketBytes must be positive")
+	case c.TXSlots <= 0:
+		return fmt.Errorf("machine: TXSlots must be positive, got %d", c.TXSlots)
+	case c.NICMode == nic.ModeDDIO && (c.DDIOWays <= 0 || c.DDIOWays > c.Cache.LLCWays) && c.NICWayMask == 0:
+		return fmt.Errorf("machine: DDIOWays %d out of range [1,%d]", c.DDIOWays, c.Cache.LLCWays)
+	case c.OfferedMrps <= 0 && c.ClosedLoopDepth <= 0:
+		return fmt.Errorf("machine: need OfferedMrps > 0 or ClosedLoopDepth > 0")
+	case c.ClosedLoopDepth > c.RingSlots:
+		return fmt.Errorf("machine: ClosedLoopDepth %d exceeds RingSlots %d", c.ClosedLoopDepth, c.RingSlots)
+	case c.Workload == WorkloadKVS && c.ItemBytes == 0:
+		return fmt.Errorf("machine: KVS requires ItemBytes")
+	case c.SpikeProb < 0 || c.SpikeProb > 1:
+		return fmt.Errorf("machine: SpikeProb %g outside [0,1]", c.SpikeProb)
+	}
+	return nil
+}
+
+// respSlotBytes returns the TX slot size: the largest response the workload
+// produces.
+func (c *Config) respSlotBytes() uint64 {
+	switch c.Workload {
+	case WorkloadKVS:
+		return c.ItemBytes
+	default:
+		return c.PacketBytes
+	}
+}

@@ -1,0 +1,438 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sweeper/internal/addr"
+	"sweeper/internal/cache"
+	"sweeper/internal/core"
+	"sweeper/internal/cpu"
+	"sweeper/internal/mem"
+	"sweeper/internal/nic"
+	"sweeper/internal/sim"
+	"sweeper/internal/stats"
+	"sweeper/internal/workload"
+)
+
+// Machine is one fully assembled simulated server. A Machine runs exactly
+// once: build a fresh one per configuration probe so caches start cold and
+// warmup is well defined.
+type Machine struct {
+	cfg   Config
+	eng   *sim.Engine
+	space *addr.Space
+	hier  *cache.Hierarchy
+	dram  *mem.DDR4
+	nicD  *nic.NIC
+	sweep *core.Sweeper
+
+	kvs   *workload.KVS
+	l3fwd *workload.L3Fwd
+
+	cores []*cpu.Core
+	xmem  []*cpu.XMemCore
+
+	pgen *nic.PoissonGen
+	cgen *nic.ClosedLoopGen
+
+	rng *rand.Rand
+
+	// Cumulative accounting (window deltas are taken at beginWindow).
+	breakdown stats.Breakdown
+	dramLat   *stats.Histogram
+	reqLat    *stats.Histogram
+	served    uint64
+	svcSum    uint64
+	svcCount  uint64
+
+	measuring bool
+	ran       bool
+	trace     TraceSink
+
+	// IAT-style dynamic DDIO state.
+	dynWays        int
+	dynAdjustments uint64
+	dynLast        [stats.NumKinds]uint64
+}
+
+// New assembles a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	total := cfg.NetCores + cfg.XMemCores
+	cfg.Cache.NCores = total
+
+	m := &Machine{
+		cfg:     cfg,
+		eng:     sim.NewEngine(),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		dramLat: stats.NewHistogram(4, 8192),
+		reqLat:  stats.NewHistogram(64, 8192),
+	}
+
+	rxBytes := uint64(cfg.RingSlots) * cfg.PacketBytes
+	txBytes := uint64(cfg.TXSlots) * cfg.respSlotBytes()
+	m.space = addr.NewSpace(total, rxBytes, txBytes)
+
+	m.dram = mem.New(cfg.Mem)
+	m.hier = cache.NewHierarchy(cfg.Cache, (*memSink)(m))
+
+	switch cfg.NICMode {
+	case nic.ModeDDIO:
+		if cfg.NICWayMask != 0 {
+			m.hier.SetNICWayMask(cfg.NICWayMask)
+		} else {
+			m.hier.SetNICWays(cfg.DDIOWays)
+		}
+	}
+	if cfg.XMemWayMask != 0 {
+		for i := 0; i < cfg.XMemCores; i++ {
+			m.hier.SetCPUWayMask(cfg.NetCores+i, cfg.XMemWayMask)
+		}
+	}
+	if cfg.NetCPUWayMask != 0 {
+		for i := 0; i < cfg.NetCores; i++ {
+			m.hier.SetCPUWayMask(i, cfg.NetCPUWayMask)
+		}
+	}
+
+	m.sweep = core.New(m.hier, cfg.Sweeper)
+
+	m.nicD = nic.New(nic.Config{
+		Mode:      cfg.NICMode,
+		RingSlots: cfg.RingSlots,
+		SlotBytes: cfg.PacketBytes,
+	}, m.space, m.hier)
+	if cfg.NeBuLaDropDepth > 0 {
+		m.nicD.SetDropDepth(cfg.NeBuLaDropDepth)
+	}
+	m.nicD.SetTXSweeper(m.sweep)
+	if cfg.Sweeper.DebugUseAfterRelinquish {
+		m.nicD.SetOverwriteListener(m.sweep)
+	}
+	m.nicD.SetEnqueueCallback(func(now uint64, c int) {
+		if c < cfg.NetCores {
+			m.cores[c].Wake(now)
+		}
+	})
+
+	switch cfg.Workload {
+	case WorkloadKVS:
+		m.kvs = workload.NewKVS(workload.DefaultKVSConfig(cfg.ItemBytes), m.space)
+		if cfg.WarmLLC {
+			m.warmLLC()
+		}
+	case WorkloadL3Fwd:
+		m.l3fwd = workload.NewL3Fwd(workload.DefaultL3FwdConfig(), m.space)
+	case WorkloadL3FwdL1:
+		m.l3fwd = workload.NewL3Fwd(workload.L1ResidentL3FwdConfig(), m.space)
+	default:
+		return nil, fmt.Errorf("machine: unknown workload %v", cfg.Workload)
+	}
+
+	m.cores = make([]*cpu.Core, cfg.NetCores)
+	for i := range m.cores {
+		m.cores[i] = cpu.NewCore(i, m.eng, m, cpu.CoreConfig{
+			PollCycles:  cfg.PollCycles,
+			TXSlots:     cfg.TXSlots,
+			TXSlotBytes: cfg.respSlotBytes(),
+			TXBase:      m.space.TXBase(i),
+			SweepTX:     cfg.SweepTX,
+			MLP:         cfg.MLPWidth,
+		})
+	}
+	m.xmem = make([]*cpu.XMemCore, cfg.XMemCores)
+	for i := range m.xmem {
+		id := cfg.NetCores + i
+		stream := workload.NewXMem(workload.DefaultXMemConfig(), m.space,
+			uint64(cfg.Seed)+uint64(id)*977)
+		m.xmem[i] = cpu.NewXMemCore(id, m.eng, m, stream)
+	}
+
+	if cfg.ClosedLoopDepth > 0 {
+		m.cgen = nic.NewClosedLoopGen(m.nicD, cfg.PacketBytes, cfg.ClosedLoopDepth, cfg.Seed)
+		m.cgen.SetTargetCores(cfg.NetCores)
+		if m.kvs != nil {
+			m.cgen.SetSizer(m.kvs.RequestBytes)
+		}
+	} else {
+		gap := stats.CyclesPerSecond(cfg.OfferedMrps*1e6, cfg.FreqHz)
+		m.pgen = nic.NewPoissonGen(m.eng, m.nicD, cfg.PacketBytes, gap, cfg.Seed)
+		m.pgen.SetTargetCores(cfg.NetCores)
+		if m.kvs != nil {
+			m.pgen.SetSizer(m.kvs.RequestBytes)
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New, panicking on configuration errors; a convenience for
+// experiment tables whose configs are static.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Accessors for tests, examples and the experiment harness.
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Engine returns the event engine.
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Hierarchy returns the cache hierarchy.
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// DRAM returns the memory model.
+func (m *Machine) DRAM() *mem.DDR4 { return m.dram }
+
+// NIC returns the network interface.
+func (m *Machine) NIC() *nic.NIC { return m.nicD }
+
+// Sweeper returns the Sweeper instance.
+func (m *Machine) Sweeper() *core.Sweeper { return m.sweep }
+
+// Space returns the address map.
+func (m *Machine) Space() *addr.Space { return m.space }
+
+// KVS returns the key-value store, or nil for other workloads.
+func (m *Machine) KVS() *workload.KVS { return m.kvs }
+
+// L3Fwd returns the forwarder, or nil for other workloads.
+func (m *Machine) L3Fwd() *workload.L3Fwd { return m.l3fwd }
+
+// warmLLC fills the LLC and every private L2 with application data lines
+// resembling the steady-state content of a long-running store, so
+// measurement windows observe realistic dirty-eviction traffic from the
+// first cycle instead of a cold 36MB cache slowly absorbing the write
+// stream. The fill uses a dedicated "legacy" region rather than live log
+// addresses: warm lines must drain exactly once, never re-entering the
+// hierarchy through later reads.
+func (m *Machine) warmLLC() {
+	llcLines := uint64(m.hier.LLC().Sets() * m.hier.LLC().Ways())
+	l2 := m.hier.L2(0)
+	l2LinesTotal := uint64(l2.Sets()*l2.Ways()) * uint64(m.cfg.NetCores+m.cfg.XMemCores)
+	base := m.space.AllocApp((llcLines + 2*l2LinesTotal) * addr.LineBytes)
+	// The warm mix mirrors each mode's steady state, so the warm
+	// content's drain is statistically indistinguishable from steady
+	// operation:
+	//
+	//   - The LLC's application content is mostly dirty (appended log
+	//     lines awaiting writeback); under DMA, clean RX read copies
+	//     also stream through it, diluting the dirty fraction.
+	//   - Each L2 holds recent dirty appends (addresses disjoint from
+	//     the LLC fill, so their eviction displaces LLC lines and
+	//     sustains the writeback stream). Under DDIO it also holds clean
+	//     read copies of LLC-resident lines, whose eviction merges in
+	//     place exactly like recycled RX-read copies do; under DMA the
+	//     clean copies displace (DMA invalidates LLC copies on reuse);
+	//     under Ideal-DDIO network buffers never enter the L2 at all.
+	var llcDirty10, l2CleanFrac2 int // dirty tenths; clean halves
+	aliasClean := false
+	switch m.cfg.NICMode {
+	case nic.ModeIdeal:
+		llcDirty10, l2CleanFrac2 = 9, 0
+	case nic.ModeDMA:
+		llcDirty10, l2CleanFrac2 = 5, 1
+	default: // DDIO
+		llcDirty10, l2CleanFrac2 = 9, 1
+		aliasClean = true
+	}
+
+	llc := m.hier.LLC()
+	mask := cache.MaskAll(llc.Ways())
+	nLines := uint64(llc.Sets() * llc.Ways())
+	for k := uint64(0); k < nLines; k++ {
+		llc.Insert(base+k*addr.LineBytes, int(k%10) < llcDirty10, mask)
+	}
+	total := m.cfg.NetCores + m.cfg.XMemCores
+	l2Base := base + nLines*addr.LineBytes
+	cleanBase := l2Base // DMA: disjoint clean lines, displacing on eviction
+	if aliasClean {
+		cleanBase = base // DDIO: clean copies of LLC lines, merging
+	}
+	for c := 0; c < total; c++ {
+		l2 := m.hier.L2(c)
+		l2Mask := cache.MaskAll(l2.Ways())
+		l2Lines := uint64(l2.Sets() * l2.Ways())
+		dirtyOff := l2Base + uint64(c)*2*l2Lines*addr.LineBytes
+		cleanOff := cleanBase + (uint64(c)*2+1)*l2Lines*addr.LineBytes
+		if aliasClean {
+			cleanOff = cleanBase + uint64(c)*l2Lines/2*addr.LineBytes
+		}
+		for k := uint64(0); k < l2Lines; k++ {
+			if l2CleanFrac2 == 1 && k%2 == 1 {
+				l2.Insert(cleanOff+k/2*addr.LineBytes, false, l2Mask)
+			} else {
+				l2.Insert(dirtyOff+k*addr.LineBytes, true, l2Mask)
+			}
+		}
+	}
+}
+
+// memSink adapts the machine to cache.MemSink, classifying every DRAM
+// transaction into the paper's breakdown categories.
+type memSink Machine
+
+func (s *memSink) DemandRead(now uint64, a uint64, src cache.Requestor) uint64 {
+	m := (*Machine)(s)
+	done := m.dram.Read(now, a)
+	var kind stats.AccessKind
+	if src == cache.SrcNIC {
+		kind = stats.NICTXRd
+	} else {
+		switch cls, _ := m.space.Classify(a); cls {
+		case addr.ClassRX:
+			kind = stats.CPURXRd
+		case addr.ClassTX:
+			kind = stats.CPUTXRdWr
+		default:
+			kind = stats.CPUOtherRd
+		}
+	}
+	m.breakdown.Add(kind, 1)
+	if m.measuring {
+		m.dramLat.Record(done - now)
+		if m.trace != nil {
+			m.trace(TraceEvent{Cycle: now, Addr: a, Kind: kind, LatencyCycles: done - now})
+		}
+	}
+	return done
+}
+
+func (s *memSink) WritebackEvict(now uint64, a uint64) {
+	m := (*Machine)(s)
+	m.dram.Write(now, a)
+	var kind stats.AccessKind
+	switch cls, _ := m.space.Classify(a); cls {
+	case addr.ClassRX:
+		kind = stats.RXEvct
+	case addr.ClassTX:
+		kind = stats.TXEvct
+	default:
+		kind = stats.OtherEvct
+	}
+	m.breakdown.Add(kind, 1)
+	if m.measuring && m.trace != nil {
+		m.trace(TraceEvent{Cycle: now, Addr: a, Kind: kind})
+	}
+}
+
+func (s *memSink) DMAWrite(now uint64, a uint64) {
+	m := (*Machine)(s)
+	m.dram.Write(now, a)
+	m.breakdown.Add(stats.NICRXWr, 1)
+	if m.measuring && m.trace != nil {
+		m.trace(TraceEvent{Cycle: now, Addr: a, Kind: stats.NICRXWr})
+	}
+}
+
+// Env implementation (cpu.Env).
+
+// PopPacket implements cpu.Env.
+func (m *Machine) PopPacket(c int) (nic.Packet, bool) {
+	return m.nicD.Ring(c).Pop()
+}
+
+// OnPop implements cpu.Env: closed-loop generators refill immediately.
+func (m *Machine) OnPop(now uint64, c int) {
+	if m.cgen != nil {
+		m.cgen.Refill(now, c)
+	}
+}
+
+// PlanRequest implements cpu.Env.
+func (m *Machine) PlanRequest(tag uint64, pktBytes uint64, plan *workload.Plan) {
+	if m.kvs != nil {
+		m.kvs.PlanRequest(tag, pktBytes, plan)
+		return
+	}
+	m.l3fwd.PlanRequest(tag, pktBytes, plan)
+}
+
+// RXRead implements cpu.Env. Under Ideal-DDIO network buffers live in the
+// infinite side cache at LLC latency; otherwise the read goes through the
+// real hierarchy (with the optional use-after-relinquish sanitizer).
+func (m *Machine) RXRead(now uint64, c int, a uint64) uint64 {
+	if m.cfg.NICMode == nic.ModeIdeal {
+		return now + m.cfg.Cache.NoCLat + m.cfg.Cache.LLCLat
+	}
+	if m.cfg.Sweeper.DebugUseAfterRelinquish {
+		m.sweep.CheckRead(a)
+	}
+	return m.hier.CPURead(now, c, a)
+}
+
+// AppRead implements cpu.Env.
+func (m *Machine) AppRead(now uint64, c int, a uint64) uint64 {
+	return m.hier.CPURead(now, c, a)
+}
+
+// AppWrite implements cpu.Env.
+func (m *Machine) AppWrite(now uint64, c int, a uint64) uint64 {
+	return m.hier.CPUWrite(now, c, a)
+}
+
+// AppWriteFull implements cpu.Env.
+func (m *Machine) AppWriteFull(now uint64, c int, a uint64) uint64 {
+	return m.hier.CPUWriteFull(now, c, a)
+}
+
+// TXWrite implements cpu.Env: Ideal-DDIO keeps TX buffers in the side cache
+// too ("zero memory traffic due to network data movements", §III).
+// Response construction overwrites whole lines, so the real-cache path is a
+// streaming full-line store.
+func (m *Machine) TXWrite(now uint64, c int, a uint64) uint64 {
+	if m.cfg.NICMode == nic.ModeIdeal {
+		return now + m.cfg.Cache.L1Lat
+	}
+	return m.hier.CPUWriteFull(now, c, a)
+}
+
+// Relinquish implements cpu.Env. Under Ideal-DDIO there is nothing to
+// sweep: the buffers never entered the real hierarchy.
+func (m *Machine) Relinquish(now uint64, c int, buf, size uint64) uint64 {
+	if m.cfg.NICMode == nic.ModeIdeal {
+		return now
+	}
+	return m.sweep.Relinquish(now, c, buf, size)
+}
+
+// FreeRXSlot implements cpu.Env.
+func (m *Machine) FreeRXSlot(c int) { m.nicD.Ring(c).Free() }
+
+// Transmit implements cpu.Env.
+func (m *Machine) Transmit(now uint64, wqe nic.WorkQueueEntry) {
+	m.nicD.Transmit(now, wqe)
+}
+
+// ExtraServiceCycles implements cpu.Env: the §VI-F spike injector.
+func (m *Machine) ExtraServiceCycles(c int, tag uint64) uint64 {
+	if m.cfg.SpikeProb <= 0 {
+		return 0
+	}
+	if m.rng.Float64() >= m.cfg.SpikeProb {
+		return 0
+	}
+	span := m.cfg.SpikeMaxCycles - m.cfg.SpikeMinCycles
+	if span == 0 {
+		return m.cfg.SpikeMinCycles
+	}
+	return m.cfg.SpikeMinCycles + uint64(m.rng.Int63n(int64(span)))
+}
+
+// OnRequestDone implements cpu.Env.
+func (m *Machine) OnRequestDone(now uint64, c int, p nic.Packet, serviceCycles uint64) {
+	m.served++
+	if m.measuring {
+		m.reqLat.Record(now - p.Arrival)
+		m.svcSum += serviceCycles
+		m.svcCount++
+	}
+}

@@ -1,0 +1,235 @@
+package machine
+
+import (
+	"fmt"
+
+	"sweeper/internal/core"
+	"sweeper/internal/nic"
+	"sweeper/internal/stats"
+)
+
+// Results summarizes one measurement window.
+type Results struct {
+	// MeasuredCycles is the window length.
+	MeasuredCycles uint64
+	// Served is the number of requests completed in the window.
+	Served uint64
+	// ThroughputMrps is the application throughput in millions of
+	// requests per second (the paper's primary metric).
+	ThroughputMrps float64
+	// MemBWGBps is the DRAM bandwidth consumed (reads+writes, 64B each).
+	MemBWGBps float64
+	// MemBWUtilization is MemBWGBps over the configuration's peak.
+	MemBWUtilization float64
+	// AccessesPerRequest breaks DRAM transactions per served request
+	// down by source, as in Figures 1c/2c/5c/7b.
+	AccessesPerRequest [stats.NumKinds]float64
+	// AccessCounts holds the raw per-kind transaction counts.
+	AccessCounts [stats.NumKinds]uint64
+	// DRAMLatMean/P50/P99 summarize DRAM access latency (Figure 6);
+	// DRAMLatCDF is the full distribution.
+	DRAMLatMean float64
+	DRAMLatP50  uint64
+	DRAMLatP99  uint64
+	DRAMLatCDF  []stats.CDFPoint
+	// ReqLatMean/P99 summarize end-to-end request latency (arrival to
+	// response posted), which the SLO check uses.
+	ReqLatMean float64
+	ReqLatP99  uint64
+	// AvgServiceCycles is mean service time excluding queuing; the SLO
+	// is defined as 100x this value measured at low load.
+	AvgServiceCycles float64
+	// Offered counts injection attempts, Dropped the arrivals lost to
+	// full rings; DropRate is their ratio.
+	Offered  uint64
+	Dropped  uint64
+	DropRate float64
+	// XMemIPC is the collocated tenant's IPC proxy averaged over X-Mem
+	// cores (Figure 9), 0 when none are configured.
+	XMemIPC float64
+	// XMemAccesses counts tenant accesses in the window.
+	XMemAccesses uint64
+	// LLCMissRatio is the shared-cache miss ratio over the window.
+	LLCMissRatio float64
+	// Sweeper summarizes sweep activity over the whole run.
+	Sweeper core.Stats
+	// SweeperSavedGBps is the DRAM write bandwidth the sweeps avoided.
+	SweeperSavedGBps float64
+}
+
+func (r Results) String() string {
+	return fmt.Sprintf("%.2f Mrps, %.1f GB/s (%.0f%% util), %.2f acc/req, drop %.4f, p99 %dcyc",
+		r.ThroughputMrps, r.MemBWGBps, 100*r.MemBWUtilization,
+		totalPerReq(r.AccessesPerRequest), r.DropRate, r.ReqLatP99)
+}
+
+func totalPerReq(b [stats.NumKinds]float64) float64 {
+	var t float64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// windowSnap captures cumulative counters at the start of a window.
+type windowSnap struct {
+	breakdown  [stats.NumKinds]uint64
+	dramTxns   uint64
+	served     uint64
+	offered    uint64
+	dropped    uint64
+	xmemAcc    uint64
+	llcHits    uint64
+	llcMisses  uint64
+	sweepDrops uint64
+	start      uint64
+}
+
+func (m *Machine) start() {
+	for _, c := range m.cores {
+		c.Start()
+	}
+	for _, x := range m.xmem {
+		x.Start()
+	}
+	if m.cgen != nil {
+		m.cgen.Start(m.eng.Now())
+	} else {
+		m.pgen.Start()
+	}
+	if m.cfg.DynamicDDIOEpoch > 0 && m.cfg.NICMode == nic.ModeDDIO {
+		m.dynWays = m.cfg.DDIOWays
+		m.eng.After(m.cfg.DynamicDDIOEpoch, m.dynamicDDIO)
+	}
+}
+
+// dynamicDDIO is the IAT-style epoch controller (related work, §VII): it
+// widens the DDIO allocation while network leaks dominate recent DRAM
+// traffic and narrows it while application traffic dominates.
+func (m *Machine) dynamicDDIO(now uint64) {
+	cur := m.breakdown.Snapshot()
+	netLeak := (cur[stats.RXEvct] - m.dynLast[stats.RXEvct]) +
+		(cur[stats.CPURXRd] - m.dynLast[stats.CPURXRd])
+	appPressure := (cur[stats.OtherEvct] - m.dynLast[stats.OtherEvct]) +
+		(cur[stats.CPUOtherRd] - m.dynLast[stats.CPUOtherRd])
+	m.dynLast = cur
+
+	switch {
+	case netLeak > appPressure+appPressure/5 && m.dynWays < m.cfg.Cache.LLCWays:
+		m.dynWays++
+		m.hier.SetNICWays(m.dynWays)
+		m.dynAdjustments++
+	case appPressure > netLeak+netLeak/5 && m.dynWays > 2:
+		m.dynWays--
+		m.hier.SetNICWays(m.dynWays)
+		m.dynAdjustments++
+	}
+	m.eng.After(m.cfg.DynamicDDIOEpoch, m.dynamicDDIO)
+}
+
+// DynamicDDIOWays reports the controller's current allocation and how many
+// adjustments it has made (zero when the controller is off).
+func (m *Machine) DynamicDDIOWays() (ways int, adjustments uint64) {
+	return m.dynWays, m.dynAdjustments
+}
+
+func (m *Machine) snap() windowSnap {
+	s := windowSnap{
+		breakdown: m.breakdown.Snapshot(),
+		dramTxns:  m.dram.Transactions(),
+		served:    m.served,
+		dropped:   m.nicD.Dropped(),
+		llcHits:   m.hier.LLC().Hits(),
+		llcMisses: m.hier.LLC().Misses(),
+		start:     m.eng.Now(),
+	}
+	if m.pgen != nil {
+		s.offered = m.pgen.Offered()
+	}
+	for _, x := range m.xmem {
+		s.xmemAcc += x.Accesses()
+	}
+	_, s.sweepDrops = m.hier.Sweeps()
+	return s
+}
+
+// Run executes the machine for warmup cycles, then measures for measure
+// cycles, returning the window's results. A machine runs exactly once.
+func (m *Machine) Run(warmup, measure uint64) Results {
+	if m.ran {
+		panic("machine: Run called twice; build a fresh Machine per run")
+	}
+	if measure == 0 {
+		panic("machine: measurement window must be positive")
+	}
+	m.ran = true
+	m.start()
+	m.eng.RunUntil(warmup)
+
+	m.dramLat.Reset()
+	m.reqLat.Reset()
+	m.svcSum, m.svcCount = 0, 0
+	m.measuring = true
+	snap := m.snap()
+
+	m.eng.RunUntil(warmup + measure)
+	m.measuring = false
+	return m.collect(snap, measure)
+}
+
+func (m *Machine) collect(snap windowSnap, measure uint64) Results {
+	r := Results{MeasuredCycles: measure}
+	freq := m.cfg.FreqHz
+
+	r.Served = m.served - snap.served
+	r.ThroughputMrps = stats.Mrps(r.Served, measure, freq)
+
+	txns := m.dram.Transactions() - snap.dramTxns
+	r.MemBWGBps = stats.GBps(txns, measure, freq)
+	r.MemBWUtilization = r.MemBWGBps / m.dram.PeakGBps(freq)
+
+	r.AccessCounts = m.breakdown.Sub(snap.breakdown)
+	r.AccessesPerRequest = stats.PerRequest(r.AccessCounts, r.Served)
+
+	r.DRAMLatMean = m.dramLat.Mean()
+	r.DRAMLatP50 = m.dramLat.Percentile(0.50)
+	r.DRAMLatP99 = m.dramLat.Percentile(0.99)
+	r.DRAMLatCDF = m.dramLat.CDF()
+
+	r.ReqLatMean = m.reqLat.Mean()
+	r.ReqLatP99 = m.reqLat.Percentile(0.99)
+	if m.svcCount > 0 {
+		r.AvgServiceCycles = float64(m.svcSum) / float64(m.svcCount)
+	}
+
+	if m.pgen != nil {
+		r.Offered = m.pgen.Offered() - snap.offered
+	}
+	r.Dropped = m.nicD.Dropped() - snap.dropped
+	if r.Offered > 0 {
+		r.DropRate = float64(r.Dropped) / float64(r.Offered)
+	}
+
+	if len(m.xmem) > 0 {
+		var acc uint64
+		for _, x := range m.xmem {
+			acc += x.Accesses()
+		}
+		acc -= snap.xmemAcc
+		r.XMemAccesses = acc
+		perCore := float64(acc) / float64(len(m.xmem))
+		instr := float64(m.xmem[0].Stream().Config().InstrPerAccess)
+		r.XMemIPC = perCore * instr / float64(measure)
+	}
+
+	hits := m.hier.LLC().Hits() - snap.llcHits
+	misses := m.hier.LLC().Misses() - snap.llcMisses
+	if hits+misses > 0 {
+		r.LLCMissRatio = float64(misses) / float64(hits+misses)
+	}
+
+	r.Sweeper = m.sweep.Stats()
+	_, drops := m.hier.Sweeps()
+	r.SweeperSavedGBps = stats.GBps(drops-snap.sweepDrops, measure, freq)
+	return r
+}

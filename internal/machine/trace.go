@@ -1,0 +1,39 @@
+package machine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"sweeper/internal/stats"
+)
+
+// TraceEvent is one DRAM transaction, as observed by the memory sink.
+type TraceEvent struct {
+	// Cycle is the issue time; Addr the line address; Kind the paper's
+	// traffic category; LatencyCycles the completion delay (zero for
+	// fire-and-forget writes).
+	Cycle         uint64
+	Addr          uint64
+	Kind          stats.AccessKind
+	LatencyCycles uint64
+}
+
+// TraceSink receives every DRAM transaction during measurement windows.
+type TraceSink func(TraceEvent)
+
+// SetTraceSink installs a DRAM transaction observer. Call before Run; pass
+// nil to disable. Tracing observes only the measurement window, matching
+// the rest of the accounting.
+func (m *Machine) SetTraceSink(fn TraceSink) { m.trace = fn }
+
+// TraceCSV adapts an io.Writer into a TraceSink emitting CSV lines
+// (cycle,addr,kind,latency). The returned flush must be called after Run.
+func TraceCSV(w io.Writer) (TraceSink, func() error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintln(bw, "cycle,addr,kind,latency_cycles")
+	sink := func(ev TraceEvent) {
+		fmt.Fprintf(bw, "%d,%#x,%s,%d\n", ev.Cycle, ev.Addr, ev.Kind, ev.LatencyCycles)
+	}
+	return sink, bw.Flush
+}

@@ -1,0 +1,58 @@
+package machine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceSinkObservesMeasurementWindow(t *testing.T) {
+	cfg := quickCfg()
+	cfg.OfferedMrps = 4
+	m := MustNew(cfg)
+	var events []TraceEvent
+	m.SetTraceSink(func(ev TraceEvent) { events = append(events, ev) })
+	r := m.Run(400_000, 400_000)
+
+	if len(events) == 0 {
+		t.Fatal("no trace events")
+	}
+	var total uint64
+	for _, c := range r.AccessCounts {
+		total += c
+	}
+	if uint64(len(events)) != total {
+		t.Fatalf("trace has %d events, accounting says %d", len(events), total)
+	}
+	for _, ev := range events {
+		if ev.Cycle < 400_000 {
+			t.Fatalf("trace captured warmup event at cycle %d", ev.Cycle)
+		}
+		if ev.Addr%64 != 0 {
+			t.Fatalf("unaligned trace address %#x", ev.Addr)
+		}
+		if !ev.Kind.IsWriteback() && ev.LatencyCycles == 0 {
+			t.Fatalf("demand read with zero latency: %+v", ev)
+		}
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	var buf bytes.Buffer
+	sink, flush := TraceCSV(&buf)
+	sink(TraceEvent{Cycle: 5, Addr: 0x1000, Kind: 5, LatencyCycles: 0})
+	sink(TraceEvent{Cycle: 9, Addr: 0x2000, Kind: 2, LatencyCycles: 120})
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "cycle,addr,kind,latency_cycles" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "RX Evct") || !strings.Contains(lines[2], "CPU RX Rd") {
+		t.Fatalf("rows: %v", lines[1:])
+	}
+}

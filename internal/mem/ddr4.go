@@ -1,0 +1,347 @@
+// Package mem models the server's DRAM: DDR4-3200 channels with ranks,
+// banks, row buffers and a shared per-channel data bus, following the
+// Ramulator-derived configuration in the paper's Table I (3 to 8 channels,
+// 4 ranks per channel, 8 banks per rank).
+//
+// The model captures the two properties the paper's results depend on:
+//
+//   - finite per-channel bandwidth (one 64B burst per tBL, ~25.6 GB/s per
+//     DDR4-3200 channel), and
+//   - queuing delay that grows with utilization, because requests serialize
+//     on bank timing and the channel data bus.
+//
+// Requests are admitted in simulation-event order; per-bank and per-bus
+// busy-until timestamps create the queuing behaviour without an explicit
+// scheduler.
+package mem
+
+import "fmt"
+
+// Timing holds DDR4 timing parameters in DRAM clock cycles.
+type Timing struct {
+	// TRCD is the ACTIVATE-to-CAS delay (row miss adds this).
+	TRCD uint64
+	// TRP is the PRECHARGE delay (closing a conflicting row adds this).
+	TRP uint64
+	// TCL is the CAS (read) latency.
+	TCL uint64
+	// TCWL is the CAS write latency.
+	TCWL uint64
+	// TBL is the data-bus occupancy of one 64B burst (BL8 = 4 clocks).
+	TBL uint64
+	// TCCD is the CAS-to-CAS pipelining gap: row-buffer hits to the same
+	// bank stream one burst per TCCD.
+	TCCD uint64
+	// TRAS is the minimum ACTIVATE-to-PRECHARGE time.
+	TRAS uint64
+	// TREFI is the refresh interval and TRFC the refresh cycle time; all
+	// banks of a channel stall for TRFC every TREFI. Zero TREFI disables
+	// refresh.
+	TREFI uint64
+	TRFC  uint64
+}
+
+// DDR43200 returns DDR4-3200AA timing (22-22-22) as used by Ramulator.
+func DDR43200() Timing {
+	// 7.8us refresh interval, 350ns refresh cycle (8Gb devices), in
+	// 1.6GHz DRAM clocks.
+	return Timing{TRCD: 22, TRP: 22, TCL: 22, TCWL: 16, TBL: 4, TCCD: 4,
+		TRAS: 52, TREFI: 12480, TRFC: 560}
+}
+
+// Config describes one memory subsystem.
+type Config struct {
+	// WriteQueueDepth is the controller's per-channel write buffer; when
+	// full, further traffic stalls behind forced write drains.
+	WriteQueueDepth uint64
+	// Channels is the number of independent memory channels (paper: 3-8).
+	Channels int
+	// RanksPerChannel and BanksPerRank set the bank-level parallelism
+	// (paper: 4 ranks x 8 banks).
+	RanksPerChannel int
+	BanksPerRank    int
+	// RowBytes is the row-buffer size per bank (8 KiB typical).
+	RowBytes uint64
+	// CPUCyclesPerDRAMCycle converts DRAM clocks to CPU cycles
+	// (3.2 GHz CPU over 1.6 GHz DDR4-3200 clock = 2).
+	CPUCyclesPerDRAMCycle uint64
+	// Timing are the DDR4 core timings.
+	Timing Timing
+}
+
+// DefaultConfig returns the paper's four-channel Table I configuration.
+func DefaultConfig() Config {
+	return Config{
+		WriteQueueDepth:       64,
+		Channels:              4,
+		RanksPerChannel:       4,
+		BanksPerRank:          8,
+		RowBytes:              8 * 1024,
+		CPUCyclesPerDRAMCycle: 2,
+		Timing:                DDR43200(),
+	}
+}
+
+const lineBytes = 64
+
+type bank struct {
+	openRow int64 // -1 when no row is open
+	// readyAt is when the bank accepts its next column command; row hits
+	// pipeline at tCCD, so streaming a buffer is bus-limited, not
+	// CAS-latency-limited.
+	readyAt uint64
+	// lastAct is the last ACTIVATE time, bounding precharge (tRAS) and
+	// the next ACTIVATE (tRC).
+	lastAct uint64
+}
+
+type channel struct {
+	banks     []bank
+	busFreeAt uint64
+	// pendingWrites is the controller's write queue: writebacks wait here
+	// and drain through idle bus slots. Reads have priority (as in real
+	// controllers) until the queue fills, at which point forced drains
+	// push the bus out — that is how write traffic steals bandwidth from
+	// demand reads, the paper's interference mechanism.
+	pendingWrites uint64
+	// nextRefreshAt schedules the channel's next all-bank refresh.
+	nextRefreshAt uint64
+}
+
+// DDR4 is the memory model. It is not safe for concurrent use; the
+// simulator is single-threaded by design.
+type DDR4 struct {
+	cfg Config
+	// Converted timings, in CPU cycles.
+	tRCD, tRP, tCL, tCWL, tBL, tCCD, tRAS uint64
+	tREFI, tRFC                           uint64
+	linesPerRow                           uint64
+	channels                              []channel
+
+	refreshes uint64
+
+	reads  uint64
+	writes uint64
+}
+
+// New creates a memory subsystem from cfg.
+func New(cfg Config) *DDR4 {
+	if cfg.Channels <= 0 {
+		panic("mem: Channels must be positive")
+	}
+	if cfg.RanksPerChannel <= 0 || cfg.BanksPerRank <= 0 {
+		panic("mem: ranks and banks must be positive")
+	}
+	if cfg.RowBytes < lineBytes {
+		panic("mem: RowBytes must cover at least one line")
+	}
+	r := cfg.CPUCyclesPerDRAMCycle
+	if r == 0 {
+		r = 1
+	}
+	tccd := cfg.Timing.TCCD
+	if tccd == 0 {
+		tccd = cfg.Timing.TBL
+	}
+	m := &DDR4{
+		cfg:         cfg,
+		tRCD:        cfg.Timing.TRCD * r,
+		tRP:         cfg.Timing.TRP * r,
+		tCL:         cfg.Timing.TCL * r,
+		tCWL:        cfg.Timing.TCWL * r,
+		tBL:         cfg.Timing.TBL * r,
+		tCCD:        tccd * r,
+		tRAS:        cfg.Timing.TRAS * r,
+		tREFI:       cfg.Timing.TREFI * r,
+		tRFC:        cfg.Timing.TRFC * r,
+		linesPerRow: cfg.RowBytes / lineBytes,
+		channels:    make([]channel, cfg.Channels),
+	}
+	nBanks := cfg.RanksPerChannel * cfg.BanksPerRank
+	for i := range m.channels {
+		m.channels[i].banks = make([]bank, nBanks)
+		for b := range m.channels[i].banks {
+			m.channels[i].banks[b].openRow = -1
+		}
+		m.channels[i].nextRefreshAt = m.tREFI
+	}
+	return m
+}
+
+// Config returns the configuration the model was built with.
+func (m *DDR4) Config() Config { return m.cfg }
+
+// map splits a line address into channel, bank and row, interleaving
+// consecutive lines across channels and keeping a row's columns together so
+// streaming accesses enjoy row-buffer hits.
+func (m *DDR4) mapAddr(a uint64) (ch int, bk int, row int64) {
+	li := a / lineBytes
+	nCh := uint64(len(m.channels))
+	ch = int(li % nCh)
+	rest := li / nCh
+	rest /= m.linesPerRow // drop column bits
+	nBanks := uint64(len(m.channels[ch].banks))
+	bk = int(rest % nBanks)
+	row = int64(rest / nBanks)
+	return ch, bk, row
+}
+
+// refresh stalls the channel for tRFC every tREFI (all-bank refresh),
+// charging any refreshes due by cycle now.
+func (m *DDR4) refresh(c *channel, now uint64) {
+	if m.tREFI == 0 {
+		return
+	}
+	for c.nextRefreshAt <= now {
+		base := c.busFreeAt
+		if c.nextRefreshAt > base {
+			base = c.nextRefreshAt
+		}
+		c.busFreeAt = base + m.tRFC
+		c.nextRefreshAt += m.tREFI
+		m.refreshes++
+	}
+}
+
+// drainIdle retires queued writes through bus slots that sat idle up to
+// cycle now, advancing the channel clock. One write occupies one tBL slot.
+func (m *DDR4) drainIdle(c *channel, now uint64) {
+	if c.busFreeAt >= now {
+		return
+	}
+	idle := now - c.busFreeAt
+	k := idle / m.tBL
+	if k >= c.pendingWrites {
+		c.pendingWrites = 0
+		c.busFreeAt = now
+		return
+	}
+	c.pendingWrites -= k
+	c.busFreeAt = now
+}
+
+// read performs bank+bus timing for a demand read and returns the cycle at
+// which the burst completes on the data bus. Reads have priority over the
+// write queue; queued writes only delay them indirectly, via forced drains
+// when the write queue overflows.
+func (m *DDR4) read(now uint64, a uint64) uint64 {
+	ch, bk, row := m.mapAddr(a)
+	c := &m.channels[ch]
+	b := &c.banks[bk]
+	m.refresh(c, now)
+	m.drainIdle(c, now)
+
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	var casAt uint64
+	if b.openRow == row {
+		// Row-buffer hit: the column command issues immediately and the
+		// bank can pipeline the next one tCCD later.
+		casAt = start
+	} else {
+		actAt := start
+		if b.openRow >= 0 {
+			// Precharge the open row, no earlier than tRAS after
+			// its activation.
+			preAt := start
+			if min := b.lastAct + m.tRAS; min > preAt {
+				preAt = min
+			}
+			actAt = preAt + m.tRP
+		}
+		// ACT-to-ACT to the same bank is bounded by tRC = tRAS+tRP.
+		if min := b.lastAct + m.tRAS + m.tRP; min > actAt {
+			actAt = min
+		}
+		b.lastAct = actAt
+		casAt = actAt + m.tRCD
+	}
+
+	dataReady := casAt + m.tCL
+	busStart := dataReady
+	if c.busFreeAt > busStart {
+		busStart = c.busFreeAt
+	}
+	done := busStart + m.tBL
+	c.busFreeAt = done
+	b.openRow = row
+	// The bank accepts its next column command tCCD after this one. Bank
+	// state advances on bank timing alone — coupling it to the (possibly
+	// backlogged) bus slot would compound bus queueing with bank latency
+	// on every row miss and ratchet the backlog upward forever.
+	b.readyAt = casAt + m.tCCD
+	return done
+}
+
+// Read performs a 64B demand read beginning at cycle now and returns the
+// completion cycle (the requester blocks until then).
+func (m *DDR4) Read(now uint64, a uint64) (done uint64) {
+	m.reads++
+	return m.read(now, a)
+}
+
+// Write enqueues a 64B write (writeback or DMA write) at cycle now. Writes
+// are fire-and-forget for the requester and sit in the controller's write
+// queue, draining through idle bus slots; when the queue is full the excess
+// is force-drained, pushing the channel clock out and stealing bandwidth
+// from demand reads exactly as in the paper. It returns the cycle by which
+// the write's bus slot is accounted for.
+func (m *DDR4) Write(now uint64, a uint64) (done uint64) {
+	m.writes++
+	ch, _, _ := m.mapAddr(a)
+	c := &m.channels[ch]
+	m.refresh(c, now)
+	m.drainIdle(c, now)
+	c.pendingWrites++
+	cap := m.cfg.WriteQueueDepth
+	if cap == 0 {
+		cap = 1
+	}
+	if c.pendingWrites > cap {
+		// Forced drain: the controller must issue writes now, consuming
+		// bus slots ahead of any later reads.
+		excess := c.pendingWrites - cap
+		base := c.busFreeAt
+		if now > base {
+			base = now
+		}
+		c.busFreeAt = base + excess*m.tBL
+		c.pendingWrites = cap
+	}
+	if c.busFreeAt > now {
+		return c.busFreeAt
+	}
+	return now + m.tBL
+}
+
+// Refreshes returns the number of all-bank refreshes performed.
+func (m *DDR4) Refreshes() uint64 { return m.refreshes }
+
+// Reads returns the cumulative demand-read transaction count.
+func (m *DDR4) Reads() uint64 { return m.reads }
+
+// Writes returns the cumulative write transaction count.
+func (m *DDR4) Writes() uint64 { return m.writes }
+
+// Transactions returns reads + writes.
+func (m *DDR4) Transactions() uint64 { return m.reads + m.writes }
+
+// PeakGBps returns the theoretical peak bandwidth of the configuration at
+// the given CPU frequency, for utilization reporting.
+func (m *DDR4) PeakGBps(cpuHz float64) float64 {
+	cyclesPerBurst := float64(m.tBL)
+	burstsPerSec := cpuHz / cyclesPerBurst
+	return burstsPerSec * float64(lineBytes) * float64(len(m.channels)) / 1e9
+}
+
+// UnloadedReadLatency returns the best-case read latency in CPU cycles
+// (open-row hit, idle bus), useful for calibration and tests.
+func (m *DDR4) UnloadedReadLatency() uint64 { return m.tCL + m.tBL }
+
+func (m *DDR4) String() string {
+	return fmt.Sprintf("DDR4 %dch x %drk x %dbk", m.cfg.Channels,
+		m.cfg.RanksPerChannel, m.cfg.BanksPerRank)
+}

@@ -1,0 +1,75 @@
+package nic
+
+import (
+	"testing"
+
+	"sweeper/internal/addr"
+)
+
+func TestNeBuLaDropPolicy(t *testing.T) {
+	space := addr.NewSpace(1, 64*1024, 1024)
+	n := New(Config{Mode: ModeDDIO, RingSlots: 64, SlotBytes: 64}, space, &fakeInjector{})
+	n.SetDropDepth(4)
+
+	for i := 0; i < 4; i++ {
+		if !n.Inject(0, 0, 64, uint64(i)) {
+			t.Fatalf("inject %d rejected below the threshold", i)
+		}
+	}
+	// Fifth arrival finds 4 queued: dropped by policy even though 60
+	// slots remain free.
+	if n.Inject(0, 0, 64, 99) {
+		t.Fatal("policy did not drop at threshold")
+	}
+	if n.PolicyDrops() != 1 {
+		t.Fatalf("policy drops = %d", n.PolicyDrops())
+	}
+	if n.Dropped() != 1 {
+		t.Fatal("Dropped must include policy drops")
+	}
+	if n.Ring(0).InUse() != 4 {
+		t.Fatal("policy drop consumed a slot")
+	}
+
+	// Consuming one packet re-opens admission.
+	n.Ring(0).Pop()
+	if !n.Inject(0, 0, 64, 100) {
+		t.Fatal("inject rejected after queue shrank")
+	}
+}
+
+func TestDropDepthDisabledByDefault(t *testing.T) {
+	space := addr.NewSpace(1, 64*1024, 1024)
+	n := New(Config{Mode: ModeDDIO, RingSlots: 8, SlotBytes: 64}, space, &fakeInjector{})
+	for i := 0; i < 8; i++ {
+		if !n.Inject(0, 0, 64, uint64(i)) {
+			t.Fatal("default policy must admit until the ring is full")
+		}
+	}
+	if n.PolicyDrops() != 0 {
+		t.Fatal("policy drops without a threshold")
+	}
+}
+
+func TestDropDepthValidation(t *testing.T) {
+	space := addr.NewSpace(1, 1024, 1024)
+	n := New(Config{Mode: ModeDDIO, RingSlots: 4, SlotBytes: 64}, space, &fakeInjector{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.SetDropDepth(-1)
+}
+
+func TestResetCountersClearsPolicyDrops(t *testing.T) {
+	space := addr.NewSpace(1, 64*1024, 1024)
+	n := New(Config{Mode: ModeDDIO, RingSlots: 8, SlotBytes: 64}, space, &fakeInjector{})
+	n.SetDropDepth(1)
+	n.Inject(0, 0, 64, 0)
+	n.Inject(0, 0, 64, 1) // dropped
+	n.ResetCounters()
+	if n.PolicyDrops() != 0 {
+		t.Fatal("reset")
+	}
+}

@@ -1,0 +1,153 @@
+package nic
+
+import (
+	"math/rand"
+
+	"sweeper/internal/sim"
+)
+
+// PoissonGen is the open-loop traffic generator of the paper's Appendix: it
+// injects packets at a configurable Poisson arrival rate, spraying arrivals
+// uniformly across the per-core rings (receive-side scaling).
+type PoissonGen struct {
+	eng     *sim.Engine
+	nic     *NIC
+	rng     *rand.Rand
+	meanGap float64 // cycles between arrivals across the whole NIC
+	size    uint64
+	sizer   func(tag uint64) uint64
+	cores   int // arrivals target rings [0, cores)
+	stopped bool
+
+	offered uint64
+}
+
+// NewPoissonGen creates a generator injecting size-byte packets with the
+// given mean inter-arrival gap in cycles (machine-wide). The seed makes runs
+// reproducible.
+func NewPoissonGen(eng *sim.Engine, n *NIC, size uint64, meanGapCycles float64, seed int64) *PoissonGen {
+	if meanGapCycles <= 0 {
+		panic("nic: mean inter-arrival gap must be positive")
+	}
+	return &PoissonGen{
+		eng:     eng,
+		nic:     n,
+		rng:     rand.New(rand.NewSource(seed)),
+		meanGap: meanGapCycles,
+		size:    size,
+		cores:   n.NumRings(),
+	}
+}
+
+// SetSizer installs a per-packet size function of the tag (e.g. small GET
+// requests vs item-sized SETs), overriding the fixed size.
+func (g *PoissonGen) SetSizer(fn func(tag uint64) uint64) { g.sizer = fn }
+
+// SetTargetCores restricts arrivals to rings [0, n), for collocation
+// scenarios where only some cores run the networked application.
+func (g *PoissonGen) SetTargetCores(n int) {
+	if n <= 0 || n > g.nic.NumRings() {
+		panic("nic: target core count out of range")
+	}
+	g.cores = n
+}
+
+// Start schedules the first arrival.
+func (g *PoissonGen) Start() {
+	g.scheduleNext()
+}
+
+// Stop halts generation after any already-scheduled arrival.
+func (g *PoissonGen) Stop() { g.stopped = true }
+
+// Offered returns the number of injection attempts so far (including
+// arrivals dropped at full rings).
+func (g *PoissonGen) Offered() uint64 { return g.offered }
+
+// ResetCounters zeroes the offered-load counter.
+func (g *PoissonGen) ResetCounters() { g.offered = 0 }
+
+func (g *PoissonGen) scheduleNext() {
+	gap := g.rng.ExpFloat64() * g.meanGap
+	g.eng.After(uint64(gap), g.arrive)
+}
+
+func (g *PoissonGen) arrive(now uint64) {
+	if g.stopped {
+		return
+	}
+	core := g.rng.Intn(g.cores)
+	g.offered++
+	tag := g.rng.Uint64()
+	size := g.size
+	if g.sizer != nil {
+		size = g.sizer(tag)
+	}
+	g.nic.Inject(now, core, size, tag)
+	g.scheduleNext()
+}
+
+// ClosedLoopGen emulates the §IV-B batching study: it keeps at least D
+// unconsumed packets in every core's RX ring at all times, so the system
+// permanently runs with deep packet queues and throughput is purely
+// service-rate limited.
+type ClosedLoopGen struct {
+	nic   *NIC
+	rng   *rand.Rand
+	depth int
+	size  uint64
+	sizer func(tag uint64) uint64
+	cores int
+}
+
+// NewClosedLoopGen creates a keep-D-queued generator of size-byte packets.
+func NewClosedLoopGen(n *NIC, size uint64, depth int, seed int64) *ClosedLoopGen {
+	if depth <= 0 {
+		panic("nic: closed-loop depth must be positive")
+	}
+	if depth > n.Ring(0).Slots() {
+		panic("nic: closed-loop depth exceeds ring size")
+	}
+	return &ClosedLoopGen{
+		nic:   n,
+		rng:   rand.New(rand.NewSource(seed)),
+		depth: depth,
+		size:  size,
+		cores: n.NumRings(),
+	}
+}
+
+// SetSizer installs a per-packet size function of the tag.
+func (g *ClosedLoopGen) SetSizer(fn func(tag uint64) uint64) { g.sizer = fn }
+
+// SetTargetCores restricts generation to rings [0, n).
+func (g *ClosedLoopGen) SetTargetCores(n int) {
+	if n <= 0 || n > g.nic.NumRings() {
+		panic("nic: target core count out of range")
+	}
+	g.cores = n
+}
+
+// Start fills every targeted ring to the target depth at cycle now.
+func (g *ClosedLoopGen) Start(now uint64) {
+	for c := 0; c < g.cores; c++ {
+		g.Refill(now, c)
+	}
+}
+
+// Refill tops core's ring back up to D unconsumed packets. The machine
+// calls it each time the core pops a packet.
+func (g *ClosedLoopGen) Refill(now uint64, core int) {
+	r := g.nic.Ring(core)
+	for r.Queued() < g.depth && !r.Full() {
+		tag := g.rng.Uint64()
+		size := g.size
+		if g.sizer != nil {
+			size = g.sizer(tag)
+		}
+		g.nic.Inject(now, core, size, tag)
+	}
+}
+
+// Depth returns the maintained per-core queue depth.
+func (g *ClosedLoopGen) Depth() int { return g.depth }

@@ -1,0 +1,26 @@
+// Package noc models the on-chip interconnect between cores, LLC slices,
+// the integrated NIC and the memory controllers. The paper's Table I
+// specifies a crossbar with a fixed 8-cycle latency; contention inside the
+// crossbar is not modeled (the LLC and DRAM are the bottlenecks of
+// interest), so the NoC reduces to a latency adder — kept as its own
+// package so a contention model can replace it without touching callers.
+package noc
+
+// Crossbar is a fixed-latency interconnect.
+type Crossbar struct {
+	latency uint64
+}
+
+// New returns a crossbar with the given one-way hop latency in cycles.
+func New(latency uint64) *Crossbar {
+	return &Crossbar{latency: latency}
+}
+
+// Default returns the paper's 8-cycle crossbar.
+func Default() *Crossbar { return New(8) }
+
+// Latency returns the one-way traversal latency in cycles.
+func (x *Crossbar) Latency() uint64 { return x.latency }
+
+// Traverse returns the arrival cycle for a message injected at now.
+func (x *Crossbar) Traverse(now uint64) uint64 { return now + x.latency }

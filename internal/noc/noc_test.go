@@ -1,0 +1,26 @@
+package noc
+
+import "testing"
+
+func TestCrossbarLatency(t *testing.T) {
+	x := New(8)
+	if x.Latency() != 8 {
+		t.Fatalf("Latency = %d", x.Latency())
+	}
+	if x.Traverse(100) != 108 {
+		t.Fatalf("Traverse = %d", x.Traverse(100))
+	}
+}
+
+func TestDefaultIsTableI(t *testing.T) {
+	if Default().Latency() != 8 {
+		t.Fatal("Table I crossbar latency is 8 cycles")
+	}
+}
+
+func TestZeroLatencyCrossbar(t *testing.T) {
+	x := New(0)
+	if x.Traverse(42) != 42 {
+		t.Fatal("zero-latency traverse")
+	}
+}

@@ -1,0 +1,157 @@
+// Package sim provides the discrete-event simulation engine used by every
+// other subsystem: a cycle-granular clock and a deterministic event queue.
+//
+// The engine is intentionally minimal. Components schedule callbacks at
+// absolute cycle times; the engine dispatches them in time order, breaking
+// ties by insertion order so that runs are fully reproducible.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle = uint64
+
+// Event is a callback scheduled to run at a specific cycle.
+type Event func(now Cycle)
+
+type queuedEvent struct {
+	at   Cycle
+	seq  uint64
+	fn   Event
+	idx  int
+	dead bool
+}
+
+// Handle identifies a scheduled event so that it can be cancelled.
+type Handle struct{ ev *queuedEvent }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+type eventHeap []*queuedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*queuedEvent)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine with the clock at cycle zero and no pending
+// events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Pending reports the number of scheduled (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at the absolute cycle at. Scheduling in the past
+// (at < Now) clamps to the current cycle: the event runs before the clock
+// advances further.
+func (e *Engine) At(at Cycle, fn Event) Handle {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &queuedEvent{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn Event) Handle {
+	return e.At(e.now+delay, fn)
+}
+
+// Step dispatches the single earliest pending event, advancing the clock to
+// its timestamp. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*queuedEvent)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil dispatches events in order until the queue is empty or the next
+// event lies strictly beyond limit. The clock finishes at min(limit, time of
+// last dispatched event); events at exactly limit are dispatched.
+func (e *Engine) RunUntil(limit Cycle) {
+	for len(e.events) > 0 {
+		// Peek.
+		ev := e.events[0]
+		if ev.dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		if ev.at > limit {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.fn(e.now)
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// Drain dispatches every remaining event. Use only in tests or teardown:
+// components that perpetually reschedule themselves will never drain.
+func (e *Engine) Drain() {
+	for e.Step() {
+	}
+}

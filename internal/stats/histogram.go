@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram records a distribution of latencies (in cycles) using fixed-width
+// bins up to a cap, with an overflow bin for larger samples. Percentiles are
+// exact to bin width; the overflow bin tracks its own mean so tail estimates
+// stay sane under saturation.
+type Histogram struct {
+	binWidth     uint64
+	bins         []uint64
+	count        uint64
+	sum          uint64
+	max          uint64
+	min          uint64
+	overflow     uint64
+	overflowSum  uint64
+	overflowBase uint64
+}
+
+// NewHistogram creates a histogram with the given bin width (cycles per bin)
+// and number of bins. Samples at or beyond binWidth*numBins land in the
+// overflow bin.
+func NewHistogram(binWidth uint64, numBins int) *Histogram {
+	if binWidth == 0 {
+		binWidth = 1
+	}
+	if numBins < 1 {
+		numBins = 1
+	}
+	return &Histogram{
+		binWidth:     binWidth,
+		bins:         make([]uint64, numBins),
+		min:          math.MaxUint64,
+		overflowBase: binWidth * uint64(numBins),
+	}
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v uint64) {
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.min {
+		h.min = v
+	}
+	idx := v / h.binWidth
+	if idx >= uint64(len(h.bins)) {
+		h.overflow++
+		h.overflowSum += v
+		return
+	}
+	h.bins[idx]++
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the exact mean of recorded samples, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest recorded sample, or 0 with no samples.
+func (h *Histogram) Max() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest recorded sample, or 0 with no samples.
+func (h *Histogram) Min() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Percentile returns the value at quantile q in [0,1], estimated at the upper
+// edge of the containing bin. For samples in the overflow bin it returns the
+// overflow mean (or max for q == 1).
+func (h *Histogram) Percentile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.bins {
+		cum += c
+		if cum >= target {
+			return (uint64(i) + 1) * h.binWidth
+		}
+	}
+	if h.overflow > 0 {
+		return h.overflowMean()
+	}
+	return h.max
+}
+
+func (h *Histogram) overflowMean() uint64 {
+	if h.overflow == 0 {
+		return h.overflowBase
+	}
+	return h.overflowSum / h.overflow
+}
+
+// Reset clears all recorded samples.
+func (h *Histogram) Reset() {
+	for i := range h.bins {
+		h.bins[i] = 0
+	}
+	h.count, h.sum, h.max, h.overflow, h.overflowSum = 0, 0, 0, 0, 0
+	h.min = math.MaxUint64
+}
+
+// CDFPoint is one (latency, cumulative fraction) sample of a distribution.
+type CDFPoint struct {
+	Value    uint64
+	Fraction float64
+}
+
+// CDF returns the cumulative distribution as (bin upper edge, fraction)
+// points, including only non-empty bins, terminated by the overflow mass.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.count == 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	var cum uint64
+	for i, c := range h.bins {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		pts = append(pts, CDFPoint{
+			Value:    (uint64(i) + 1) * h.binWidth,
+			Fraction: float64(cum) / float64(h.count),
+		})
+	}
+	if h.overflow > 0 {
+		pts = append(pts, CDFPoint{Value: h.max, Fraction: 1.0})
+	}
+	return pts
+}
+
+// String summarizes the distribution for debugging.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d max=%d",
+		h.count, h.Mean(), h.Percentile(0.50), h.Percentile(0.99), h.Max())
+}
+
+// ExactPercentile computes quantile q over a raw sample slice (exact, used in
+// tests to validate Histogram accuracy). The input is not modified.
+func ExactPercentile(samples []uint64, q float64) uint64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]uint64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

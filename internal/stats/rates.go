@@ -1,0 +1,35 @@
+package stats
+
+// Rate helpers converting simulator counts into the units the paper reports.
+
+// LineBytes is the size of one cache line / DRAM burst in bytes.
+const LineBytes = 64
+
+// Mrps converts a request count over a cycle window into millions of
+// requests per second at the given core frequency in Hz.
+func Mrps(requests uint64, cycles uint64, freqHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / freqHz
+	return float64(requests) / seconds / 1e6
+}
+
+// GBps converts a DRAM transaction count (64B each) over a cycle window into
+// gigabytes per second at the given core frequency in Hz.
+func GBps(transactions uint64, cycles uint64, freqHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / freqHz
+	return float64(transactions) * LineBytes / seconds / 1e9
+}
+
+// CyclesPerSecond converts an offered load in requests/second into the mean
+// inter-arrival gap in cycles at the given frequency.
+func CyclesPerSecond(ratePerSec float64, freqHz float64) float64 {
+	if ratePerSec <= 0 {
+		return 0
+	}
+	return freqHz / ratePerSec
+}

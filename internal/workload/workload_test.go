@@ -1,0 +1,459 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sweeper/internal/addr"
+)
+
+func TestZipfBoundsAndDeterminism(t *testing.T) {
+	z := NewZipf(1000, 0.99, true)
+	if z.N() != 1000 {
+		t.Fatal("N")
+	}
+	for tag := uint64(0); tag < 5000; tag++ {
+		r := z.Sample(tag)
+		if r >= 1000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		if r != z.Sample(tag) {
+			t.Fatal("sampling not deterministic in tag")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(100_000, 0.99, false) // unscrambled: rank 0 most popular
+	hits := make(map[uint64]int)
+	n := 200_000
+	for i := 0; i < n; i++ {
+		hits[z.Rank(unitFloat(splitmix64(uint64(i))))]++
+	}
+	// Under zipf(0.99) over 100k items, rank 0 alone draws ~7-9% of
+	// requests; uniform would give 0.001%.
+	if frac := float64(hits[0]) / float64(n); frac < 0.02 {
+		t.Fatalf("rank-0 popularity %.4f, want heavy skew", frac)
+	}
+	// Top-100 ranks draw a large fraction of all traffic.
+	var top int
+	for r := uint64(0); r < 100; r++ {
+		top += hits[r]
+	}
+	if frac := float64(top) / float64(n); frac < 0.3 {
+		t.Fatalf("top-100 mass %.3f, want > 0.3", frac)
+	}
+}
+
+func TestZipfScrambleSpreadsHotKeys(t *testing.T) {
+	zs := NewZipf(1<<20, 0.99, true)
+	// The two hottest scrambled keys must not be adjacent small ranks.
+	a := zs.Rank(0.0001)
+	b := zs.Rank(0.0002)
+	if a < 100 && b < 100 {
+		t.Fatalf("scramble left hot keys clustered: %d %d", a, b)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":   func() { NewZipf(0, 0.5, false) },
+		"theta 0": func() { NewZipf(10, 0, false) },
+		"theta 1": func() { NewZipf(10, 1, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: ranks stay in range for arbitrary uniform inputs.
+func TestZipfRangeProperty(t *testing.T) {
+	z := NewZipf(12345, 0.99, true)
+	f := func(u float64) bool {
+		u = math.Abs(u)
+		u -= math.Floor(u) // [0,1)
+		return z.Rank(u) < 12345
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testSpace() *addr.Space { return addr.NewSpace(2, 64*1024, 64*1024) }
+
+func smallKVS(t *testing.T) *KVS {
+	t.Helper()
+	cfg := KVSConfig{
+		Keys:          10_000,
+		Buckets:       1 << 12,
+		LogBytes:      16 << 20,
+		ItemBytes:     1024,
+		GetPercent:    5,
+		ZipfTheta:     0.99,
+		ComputeCycles: 300,
+	}
+	return NewKVS(cfg, testSpace())
+}
+
+func TestKVSDefaults(t *testing.T) {
+	cfg := DefaultKVSConfig(1024)
+	if cfg.Keys != 2_400_000 || cfg.Buckets != 1<<20 || cfg.LogBytes != 256<<20 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.GetPercent != 5 || cfg.ZipfTheta != 0.99 {
+		t.Fatal("mix defaults")
+	}
+}
+
+func TestKVSValidation(t *testing.T) {
+	for name, cfg := range map[string]KVSConfig{
+		"unaligned item": {Keys: 10, Buckets: 4, LogBytes: 1 << 20, ItemBytes: 100, ZipfTheta: 0.9},
+		"zero item":      {Keys: 10, Buckets: 4, LogBytes: 1 << 20, ItemBytes: 0, ZipfTheta: 0.9},
+		"log too small":  {Keys: 10, Buckets: 4, LogBytes: 64, ItemBytes: 128, ZipfTheta: 0.9},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewKVS(cfg, testSpace())
+		}()
+	}
+}
+
+func TestKVSGetPlanShape(t *testing.T) {
+	k := smallKVS(t)
+	// Find a GET tag.
+	var tag uint64
+	for ; ; tag++ {
+		if isGet, _ := k.DecodeOp(tag); isGet {
+			break
+		}
+	}
+	var plan Plan
+	k.PlanRequest(tag, 1024, &plan)
+	if plan.ReadFullPacket {
+		t.Fatal("GET should read only the request header")
+	}
+	if plan.RespBytes != 1024 {
+		t.Fatalf("GET response = %d, want item size", plan.RespBytes)
+	}
+	// Bucket read + 16 item reads, no writes.
+	if len(plan.Ops) != 17 {
+		t.Fatalf("GET ops = %d, want 17", len(plan.Ops))
+	}
+	for i, op := range plan.Ops {
+		if op.Write {
+			t.Fatalf("GET op %d is a write", i)
+		}
+	}
+	if plan.ComputeCycles != 300 {
+		t.Fatal("compute")
+	}
+}
+
+func TestKVSSetPlanShape(t *testing.T) {
+	k := smallKVS(t)
+	var tag uint64
+	for ; ; tag++ {
+		if isGet, _ := k.DecodeOp(tag); !isGet {
+			break
+		}
+	}
+	var plan Plan
+	k.PlanRequest(tag, 1024, &plan)
+	if !plan.ReadFullPacket {
+		t.Fatal("SET must consume the full payload")
+	}
+	if plan.RespBytes != 64 {
+		t.Fatalf("SET ack = %d", plan.RespBytes)
+	}
+	// Bucket read + bucket write + 16 full-line log writes.
+	var reads, writes, fulls int
+	for _, op := range plan.Ops {
+		switch {
+		case op.Write && op.FullLine:
+			fulls++
+		case op.Write:
+			writes++
+		default:
+			reads++
+		}
+	}
+	if reads != 1 || writes != 1 || fulls != 16 {
+		t.Fatalf("SET ops: %d reads, %d writes, %d full-line", reads, writes, fulls)
+	}
+}
+
+func TestKVSMixApproximatesGetPercent(t *testing.T) {
+	k := smallKVS(t)
+	var plan Plan
+	for tag := uint64(0); tag < 20_000; tag++ {
+		k.PlanRequest(splitmix64(tag), 1024, &plan)
+	}
+	gets, sets := k.OpCounts()
+	frac := float64(gets) / float64(gets+sets)
+	if frac < 0.03 || frac > 0.08 {
+		t.Fatalf("GET fraction %.3f, want ~0.05", frac)
+	}
+}
+
+func TestKVSGetAfterSetSemantics(t *testing.T) {
+	k := smallKVS(t)
+	var setTag uint64
+	for ; ; setTag++ {
+		if isGet, _ := k.DecodeOp(setTag); !isGet {
+			break
+		}
+	}
+	_, key := k.DecodeOp(setTag)
+	var plan Plan
+	k.PlanRequest(setTag, 1024, &plan)
+	if k.Get(key) != FingerprintForTag(setTag) {
+		t.Fatal("GET after SET returned a stale fingerprint")
+	}
+}
+
+func TestKVSSetRelocatesToLogHead(t *testing.T) {
+	k := smallKVS(t)
+	var setTag uint64
+	for ; ; setTag++ {
+		if isGet, _ := k.DecodeOp(setTag); !isGet {
+			break
+		}
+	}
+	_, key := k.DecodeOp(setTag)
+	before := k.Location(key)
+	var plan Plan
+	k.PlanRequest(setTag, 1024, &plan)
+	after := k.Location(key)
+	if before == after {
+		t.Fatal("SET must move the key to the log head")
+	}
+	// The plan's log writes target the new location.
+	found := false
+	for _, op := range plan.Ops {
+		if op.Write && op.FullLine && op.Addr == k.LogBase()+after {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("log writes do not cover the new location")
+	}
+}
+
+func TestKVSPlanAddressesWithinRegions(t *testing.T) {
+	k := smallKVS(t)
+	var plan Plan
+	for tag := uint64(0); tag < 2000; tag++ {
+		k.PlanRequest(splitmix64(tag^0xabc), 1024, &plan)
+		for _, op := range plan.Ops {
+			inBuckets := op.Addr >= k.BucketsBase() && op.Addr < k.LogBase()
+			inLog := op.Addr >= k.LogBase() && op.Addr < k.LogBase()+k.Config().LogBytes
+			if !inBuckets && !inLog {
+				t.Fatalf("tag %d: op at %#x outside KVS regions", tag, op.Addr)
+			}
+		}
+	}
+}
+
+func TestKVSRequestBytes(t *testing.T) {
+	k := smallKVS(t)
+	var getTag, setTag uint64
+	for tag := uint64(0); ; tag++ {
+		isGet, _ := k.DecodeOp(tag)
+		if isGet && getTag == 0 {
+			getTag = tag
+		}
+		if !isGet && setTag == 0 {
+			setTag = tag + 1 // avoid zero sentinel
+		}
+		if getTag != 0 && setTag != 0 {
+			break
+		}
+	}
+	if k.RequestBytes(getTag) != 64 {
+		t.Fatal("GET request should be key-sized")
+	}
+	if k.RequestBytes(setTag-1) != 1024 {
+		t.Fatal("SET request should carry the item")
+	}
+}
+
+func TestKVSLogWraps(t *testing.T) {
+	cfg := KVSConfig{
+		Keys: 100, Buckets: 16, LogBytes: 64 * 1024, // holds 64 1KB items
+		ItemBytes: 1024, GetPercent: 0, ZipfTheta: 0.5, ComputeCycles: 1,
+	}
+	k := NewKVS(cfg, testSpace())
+	var plan Plan
+	for tag := uint64(0); tag < 500; tag++ {
+		k.PlanRequest(tag, 1024, &plan)
+		for _, op := range plan.Ops {
+			if op.Addr >= k.LogBase()+cfg.LogBytes {
+				t.Fatal("log write beyond the circular log")
+			}
+		}
+	}
+}
+
+func TestL3FwdPlanShape(t *testing.T) {
+	f := NewL3Fwd(DefaultL3FwdConfig(), testSpace())
+	var plan Plan
+	f.PlanRequest(12345, 1024, &plan)
+	if !plan.ReadFullPacket {
+		t.Fatal("forwarder copies the payload")
+	}
+	if plan.RespBytes != 1024 {
+		t.Fatal("forwarder transmits the whole packet")
+	}
+	if len(plan.Ops) != 2 {
+		t.Fatalf("lookup ops = %d, want LookupDepth", len(plan.Ops))
+	}
+	for _, op := range plan.Ops {
+		if op.Write {
+			t.Fatal("route lookups are reads")
+		}
+	}
+	if f.Forwarded() != 1 {
+		t.Fatal("forwarded counter")
+	}
+}
+
+func TestL3FwdDeterministicRoutingWithJitter(t *testing.T) {
+	f := NewL3Fwd(DefaultL3FwdConfig(), testSpace())
+	if f.NextHop(7) != f.NextHop(7) {
+		t.Fatal("routing not deterministic")
+	}
+	var p1, p2 Plan
+	f.PlanRequest(7, 1024, &p1)
+	f.PlanRequest(7, 1024, &p2)
+	if p1.ComputeCycles != p2.ComputeCycles {
+		t.Fatal("jitter must be deterministic per tag")
+	}
+	f.PlanRequest(8, 1024, &p2)
+	base := f.Config().ComputeCycles
+	if p2.ComputeCycles < base || p2.ComputeCycles >= base+64 {
+		t.Fatalf("jitter out of range: %d", p2.ComputeCycles)
+	}
+}
+
+func TestL3FwdTableVariants(t *testing.T) {
+	if DefaultL3FwdConfig().Rules != 16_384 {
+		t.Fatal("default rules")
+	}
+	if L1ResidentL3FwdConfig().Rules != 256 {
+		t.Fatal("L1-resident rules")
+	}
+}
+
+func TestL3FwdLookupsWithinTable(t *testing.T) {
+	space := testSpace()
+	f := NewL3Fwd(DefaultL3FwdConfig(), space)
+	var plan Plan
+	for tag := uint64(0); tag < 2000; tag++ {
+		f.PlanRequest(tag, 1024, &plan)
+		for _, op := range plan.Ops {
+			// Route table occupies Rules lines starting at its base.
+			rel := op.Addr % (16384 * 64)
+			_ = rel
+			if op.Addr < space.End()-16384*64 || op.Addr >= space.End() {
+				t.Fatalf("lookup at %#x outside the route table", op.Addr)
+			}
+		}
+	}
+}
+
+func TestL3FwdValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewL3Fwd(L3FwdConfig{Rules: 0, LookupDepth: 1}, testSpace())
+}
+
+func TestXMemStream(t *testing.T) {
+	space := testSpace()
+	x := NewXMem(DefaultXMemConfig(), space, 1)
+	base := space.End() - x.Config().ArrayBytes
+	seen := map[uint64]bool{}
+	for i := 0; i < 10_000; i++ {
+		a := x.Next()
+		if a < base || a >= base+x.Config().ArrayBytes {
+			t.Fatalf("access %#x outside private array", a)
+		}
+		if a%64 != 0 {
+			t.Fatal("unaligned access")
+		}
+		seen[a] = true
+	}
+	if x.Accesses() != 10_000 {
+		t.Fatal("access counter")
+	}
+	// Random coverage: 10k draws over 32k lines should touch many.
+	if len(seen) < 5000 {
+		t.Fatalf("stream touched only %d distinct lines", len(seen))
+	}
+}
+
+func TestXMemDeterministicPerSeed(t *testing.T) {
+	s1, s2 := testSpace(), testSpace()
+	a := NewXMem(DefaultXMemConfig(), s1, 42)
+	b := NewXMem(DefaultXMemConfig(), s2, 42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("streams with equal seeds diverge")
+		}
+	}
+	c := NewXMem(DefaultXMemConfig(), testSpace(), 43)
+	diff := false
+	for i := 0; i < 100; i++ {
+		if a.Next() != c.Next() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestXMemIPC(t *testing.T) {
+	x := NewXMem(DefaultXMemConfig(), testSpace(), 1)
+	// 1000 accesses x 8 instr over 16000 cycles = 0.5 IPC.
+	if got := x.IPC(1000, 16_000); got != 0.5 {
+		t.Fatalf("IPC = %g", got)
+	}
+	if x.IPC(10, 0) != 0 {
+		t.Fatal("zero-cycle IPC")
+	}
+}
+
+func TestXMemValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewXMem(XMemConfig{ArrayBytes: 32}, testSpace(), 1)
+}
+
+func TestWorkloadNames(t *testing.T) {
+	if smallKVS(t).Name() != "kvs-1024B" {
+		t.Fatal("kvs name")
+	}
+	if NewL3Fwd(DefaultL3FwdConfig(), testSpace()).Name() != "l3fwd-16384r" {
+		t.Fatal("l3fwd name")
+	}
+	if NewXMem(DefaultXMemConfig(), testSpace(), 0).Name() != "xmem-2MB" {
+		t.Fatal("xmem name")
+	}
+}
