@@ -1,0 +1,39 @@
+# Development targets. `make check` is what every PR should pass; the bench
+# targets make allocation or throughput regressions in the event engine
+# visible in review.
+
+GO ?= go
+
+.PHONY: all build test vet race bench bench-engine bench-e2e check results
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race detector is ~10x; the experiments package alone needs more than
+# the default 10m test timeout on small machines.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# Engine microbenchmarks: allocs/op must stay at 0 for the steady state.
+bench-engine:
+	$(GO) test ./internal/sim/ -run=XXX -bench=Engine -benchmem
+
+# End-to-end single-run benchmark (whole machine, short windows).
+bench-e2e:
+	$(GO) test . -run=XXX -bench='BenchmarkRunOnce|BenchmarkSimulatedCyclesPerSecond' -benchtime=3x -benchmem
+
+bench: bench-engine bench-e2e
+
+check: build vet test race bench-engine
+
+# Regenerate the committed experiment artifacts (takes a while).
+results:
+	$(GO) run ./cmd/experiments -fig all -quick -out results/

@@ -333,6 +333,23 @@ func BenchmarkKVSPlan(b *testing.B) {
 	}
 }
 
+// BenchmarkRunOnce is the end-to-end engine benchmark: one complete machine
+// run (build, warmup, measure) on the default configuration. Run with
+// -benchmem to watch total allocation; the event engine itself contributes
+// zero steady-state allocs (see internal/sim benchmarks), so growth here
+// points at the machine model, not the scheduler.
+func BenchmarkRunOnce(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := sweeper.DefaultConfig()
+		cfg.OfferedMrps = 10
+		r := sweeper.Run(cfg, 200_000, 400_000)
+		if r.Served == 0 {
+			b.Fatal("no requests served")
+		}
+	}
+}
+
 // BenchmarkSimulatedCyclesPerSecond measures raw simulation speed on the
 // default configuration: reported metric is simulated Mcycles per wall
 // second.

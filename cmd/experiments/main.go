@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sweeper/internal/experiments"
+	"sweeper/internal/prof"
 )
 
 func main() {
@@ -28,12 +29,20 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		figFlag  = flag.String("fig", "all", "experiment id (fig1, fig2, fig5..fig10) or 'all'")
-		quick    = flag.Bool("quick", false, "use the reduced-fidelity quick scale")
-		outDir   = flag.String("out", "", "directory for CSV output (optional)")
-		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		figFlag    = flag.String("fig", "all", "experiment id (fig1, fig2, fig5..fig10) or 'all'")
+		quick      = flag.Bool("quick", false, "use the reduced-fidelity quick scale")
+		outDir     = flag.String("out", "", "directory for CSV output (optional)")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = $SWEEPER_WORKERS, then GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	sc := experiments.FullScale()
 	if *quick {

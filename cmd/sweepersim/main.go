@@ -17,6 +17,7 @@ import (
 	"sweeper/internal/core"
 	"sweeper/internal/machine"
 	"sweeper/internal/nic"
+	"sweeper/internal/prof"
 	"sweeper/internal/stats"
 )
 
@@ -47,8 +48,16 @@ func main() {
 		spikeProb    = flag.Float64("spike-prob", 0, "per-request service spike probability (§VI-F)")
 		sanitize     = flag.Bool("sanitize", false, "flag use-after-relinquish reads")
 		tracePath    = flag.String("trace", "", "write a DRAM transaction trace CSV to this file")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	cfg := machine.DefaultConfig()
 	cfg.NetCores = *cores

@@ -116,6 +116,22 @@ const (
 	phaseFinish
 )
 
+// Event args for the sim.Sink interface: cores schedule themselves through
+// the engine's allocation-free path instead of per-event closures.
+const (
+	evTryServe = iota
+	evStep
+)
+
+// OnEvent implements sim.Sink.
+func (c *Core) OnEvent(now sim.Cycle, arg uint64) {
+	if arg == evStep {
+		c.step(now)
+		return
+	}
+	c.tryServe(now)
+}
+
 // NewCore creates a core; call Start once the machine is assembled.
 func NewCore(id int, eng *sim.Engine, env Env, cfg CoreConfig) *Core {
 	if cfg.TXSlots <= 0 || cfg.TXSlotBytes == 0 {
@@ -144,7 +160,7 @@ func (c *Core) Idle() bool { return c.idle }
 // concurrent chain for the core.
 func (c *Core) Start() {
 	c.idle = false
-	c.eng.After(uint64(c.id)*37, c.tryServe)
+	c.eng.ScheduleAfter(uint64(c.id)*37, c, evTryServe)
 }
 
 // Wake nudges an idle core when a packet arrives. Busy cores ignore it:
@@ -154,7 +170,7 @@ func (c *Core) Wake(now uint64) {
 		return
 	}
 	c.idle = false
-	c.eng.At(now, c.tryServe)
+	c.eng.Schedule(now, c, evTryServe)
 }
 
 func (c *Core) tryServe(now uint64) {
@@ -197,7 +213,7 @@ func (c *Core) beginRequest(now uint64, p nic.Packet) {
 
 	c.phase = phaseRXRead
 	c.idx = 0
-	c.eng.At(now+c.cfg.PollCycles, c.step)
+	c.eng.Schedule(now+c.cfg.PollCycles, c, evStep)
 }
 
 // step advances the in-flight request by exactly one access (or one
@@ -215,7 +231,7 @@ func (c *Core) step(now uint64) {
 				}
 				c.idx++
 			}
-			c.eng.At(done, c.step)
+			c.eng.Schedule(done, c, evStep)
 			return
 		}
 		c.phase = phaseAppOps
@@ -241,7 +257,7 @@ func (c *Core) step(now uint64) {
 					done = d
 				}
 			}
-			c.eng.At(done, c.step)
+			c.eng.Schedule(done, c, evStep)
 			return
 		}
 		c.phase = phaseCompute
@@ -250,7 +266,7 @@ func (c *Core) step(now uint64) {
 	case phaseCompute:
 		delay := c.plan.ComputeCycles + c.env.ExtraServiceCycles(c.id, c.cur.Tag)
 		c.phase = phaseRelinquish
-		c.eng.At(now+delay, c.step)
+		c.eng.Schedule(now+delay, c, evStep)
 
 	case phaseRelinquish:
 		// The buffer instance is conclusively consumed: relinquish
@@ -259,7 +275,7 @@ func (c *Core) step(now uint64) {
 		c.env.FreeRXSlot(c.id)
 		c.phase = phaseTXWrite
 		c.idx = 0
-		c.eng.At(done, c.step)
+		c.eng.Schedule(done, c, evStep)
 
 	case phaseTXWrite:
 		if c.idx < len(c.txLines) {
@@ -270,7 +286,7 @@ func (c *Core) step(now uint64) {
 				}
 				c.idx++
 			}
-			c.eng.At(done, c.step)
+			c.eng.Schedule(done, c, evStep)
 			return
 		}
 		c.phase = phaseFinish
@@ -327,9 +343,12 @@ func (x *XMemCore) Accesses() uint64 { return x.accesses }
 // Stream returns the underlying access stream.
 func (x *XMemCore) Stream() *workload.XMem { return x.stream }
 
+// OnEvent implements sim.Sink.
+func (x *XMemCore) OnEvent(now sim.Cycle, _ uint64) { x.step(now) }
+
 // Start begins the access loop.
 func (x *XMemCore) Start() {
-	x.eng.After(0, x.step)
+	x.eng.ScheduleAfter(0, x, 0)
 }
 
 // Stop halts the loop after the current batch.
@@ -348,5 +367,5 @@ func (x *XMemCore) step(now uint64) {
 		}
 		x.accesses++
 	}
-	x.eng.At(done+x.stream.Config().ComputeCycles, x.step)
+	x.eng.Schedule(done+x.stream.Config().ComputeCycles, x, 0)
 }

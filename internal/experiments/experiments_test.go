@@ -28,6 +28,20 @@ func TestScales(t *testing.T) {
 	}
 }
 
+func TestWorkersEnvOverride(t *testing.T) {
+	t.Setenv("SWEEPER_WORKERS", "5")
+	if got := (Scale{}).workers(); got != 5 {
+		t.Fatalf("workers() = %d with SWEEPER_WORKERS=5", got)
+	}
+	if got := (Scale{Parallelism: 2}).workers(); got != 2 {
+		t.Fatal("explicit Parallelism must beat the environment")
+	}
+	t.Setenv("SWEEPER_WORKERS", "not-a-number")
+	if got := (Scale{}).workers(); got < 1 {
+		t.Fatalf("workers() = %d with junk SWEEPER_WORKERS", got)
+	}
+}
+
 func TestVariants(t *testing.T) {
 	cfg := machine.DefaultConfig()
 

@@ -8,7 +8,9 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"sweeper/internal/machine"
@@ -23,7 +25,8 @@ type Scale struct {
 	Measure uint64
 	// SearchIters bounds the bisection refinement of the peak search.
 	SearchIters int
-	// Parallelism caps concurrently simulated machines (0 = GOMAXPROCS).
+	// Parallelism caps concurrently simulated machines. Zero defers to
+	// the SWEEPER_WORKERS environment variable, then to GOMAXPROCS.
 	Parallelism int
 }
 
@@ -41,6 +44,11 @@ func QuickScale() Scale {
 func (s Scale) workers() int {
 	if s.Parallelism > 0 {
 		return s.Parallelism
+	}
+	if v := os.Getenv("SWEEPER_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
 	}
 	return runtime.GOMAXPROCS(0)
 }

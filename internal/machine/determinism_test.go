@@ -1,0 +1,52 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"sweeper/internal/core"
+	"sweeper/internal/nic"
+)
+
+// TestResultsBitIdenticalAcrossFreshMachines is the engine-rewrite safety
+// net: two fresh machines built from the same Config must produce Results
+// that are identical in every field — counters, derived floats and full
+// latency CDFs — across representative configurations (open loop, closed
+// loop, Sweeper, collocation, dynamic DDIO). Any event-ordering change in
+// the engine shows up here before it can perturb committed figures.
+func TestResultsBitIdenticalAcrossFreshMachines(t *testing.T) {
+	cases := map[string]func(*Config){
+		"open-loop-ddio": func(c *Config) {},
+		"sweeper": func(c *Config) {
+			c.Sweeper = core.Config{RXSweep: true, IssueCyclesPerLine: 1}
+		},
+		"closed-loop": func(c *Config) {
+			c.OfferedMrps = 0
+			c.ClosedLoopDepth = 64
+		},
+		"dma": func(c *Config) {
+			c.NICMode = nic.ModeDMA
+		},
+		"collocated-xmem": func(c *Config) {
+			c.NetCores = 8
+			c.XMemCores = 4
+		},
+		"dynamic-ddio": func(c *Config) {
+			c.DynamicDDIOEpoch = 50_000
+		},
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := quickCfg()
+			mutate(&cfg)
+			run := func() Results {
+				return MustNew(cfg).Run(400_000, 300_000)
+			}
+			r1, r2 := run(), run()
+			if !reflect.DeepEqual(r1, r2) {
+				t.Fatalf("same Config diverged:\n  run1: %+v\n  run2: %+v", r1, r2)
+			}
+		})
+	}
+}

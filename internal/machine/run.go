@@ -99,9 +99,13 @@ func (m *Machine) start() {
 	}
 	if m.cfg.DynamicDDIOEpoch > 0 && m.cfg.NICMode == nic.ModeDDIO {
 		m.dynWays = m.cfg.DDIOWays
-		m.eng.After(m.cfg.DynamicDDIOEpoch, m.dynamicDDIO)
+		m.eng.ScheduleAfter(m.cfg.DynamicDDIOEpoch, m, 0)
 	}
 }
+
+// OnEvent implements sim.Sink: the machine's only self-scheduled event is
+// the dynamic-DDIO epoch controller.
+func (m *Machine) OnEvent(now uint64, _ uint64) { m.dynamicDDIO(now) }
 
 // dynamicDDIO is the IAT-style epoch controller (related work, §VII): it
 // widens the DDIO allocation while network leaks dominate recent DRAM
@@ -124,7 +128,7 @@ func (m *Machine) dynamicDDIO(now uint64) {
 		m.hier.SetNICWays(m.dynWays)
 		m.dynAdjustments++
 	}
-	m.eng.After(m.cfg.DynamicDDIOEpoch, m.dynamicDDIO)
+	m.eng.ScheduleAfter(m.cfg.DynamicDDIOEpoch, m, 0)
 }
 
 // DynamicDDIOWays reports the controller's current allocation and how many

@@ -67,9 +67,12 @@ func (g *PoissonGen) Offered() uint64 { return g.offered }
 // ResetCounters zeroes the offered-load counter.
 func (g *PoissonGen) ResetCounters() { g.offered = 0 }
 
+// OnEvent implements sim.Sink.
+func (g *PoissonGen) OnEvent(now sim.Cycle, _ uint64) { g.arrive(now) }
+
 func (g *PoissonGen) scheduleNext() {
 	gap := g.rng.ExpFloat64() * g.meanGap
-	g.eng.After(uint64(gap), g.arrive)
+	g.eng.ScheduleAfter(uint64(gap), g, 0)
 }
 
 func (g *PoissonGen) arrive(now uint64) {

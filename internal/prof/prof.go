@@ -1,0 +1,50 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// simulator's command-line tools, so any experiment or single run can be
+// fed straight to `go tool pprof`.
+package prof
+
+import (
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges for a heap profile to
+// memPath at stop, returning the stop function (never nil). An empty path
+// disables that profile.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				log.Print(err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Print(err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,84 @@
+package sim
+
+import "testing"
+
+// The benchmarks model the engine's real workload: many concurrent
+// self-rescheduling chains (cores, generators) with short scheduling deltas,
+// plus occasional cancels and far-future events. They are written against
+// the public API only, so before/after numbers across engine rewrites are
+// directly comparable.
+
+// BenchmarkEngineScheduleDispatch measures pure schedule+dispatch churn:
+// one event in flight, rescheduled a short delta ahead each dispatch.
+func BenchmarkEngineScheduleDispatch(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick Event
+	tick = func(now Cycle) {
+		n++
+		e.At(now+3, tick)
+	}
+	e.At(0, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.ReportMetric(float64(n), "events")
+}
+
+// BenchmarkEngineChains64 runs 64 interleaved self-rescheduling chains with
+// co-prime periods, the shape of a full machine's steady state.
+func BenchmarkEngineChains64(b *testing.B) {
+	e := NewEngine()
+	periods := []Cycle{3, 5, 7, 11, 13, 17, 19, 23}
+	ticks := make([]Event, 64)
+	for c := 0; c < 64; c++ {
+		p := periods[c%len(periods)]
+		var tick Event
+		tick = func(now Cycle) { e.At(now+p, tick) }
+		ticks[c] = tick
+		e.At(Cycle(c), tick)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineCancelChurn measures schedule+cancel pairs: half the
+// scheduled events are cancelled before they fire, exercising dead-event
+// handling.
+func BenchmarkEngineCancelChurn(b *testing.B) {
+	e := NewEngine()
+	nop := Event(func(Cycle) {})
+	var live Event
+	live = func(now Cycle) {
+		h := e.At(now+4, nop)
+		h.Cancel()
+		e.At(now+2, live)
+	}
+	e.At(0, live)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineFarFuture mixes short deltas with far-future events
+// (refresh-interval scale), exercising the long-horizon path.
+func BenchmarkEngineFarFuture(b *testing.B) {
+	e := NewEngine()
+	nop := Event(func(Cycle) {})
+	var tick Event
+	tick = func(now Cycle) {
+		if now%16 == 0 {
+			e.At(now+25_000, nop)
+		}
+		e.At(now+4, tick)
+	}
+	e.At(0, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
