@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-engine bench-e2e check results
+.PHONY: all build test vet race bench bench-engine bench-mem bench-e2e check results
 
 all: check
 
@@ -26,11 +26,19 @@ race:
 bench-engine:
 	$(GO) test ./internal/sim/ -run=XXX -bench=Engine -benchmem
 
+# Memory-access fast path: cache indexing/lookup/insert, DRAM address
+# mapping and the strength-reduced division primitive they share.
+bench-mem:
+	$(GO) test . -run=XXX -bench='CacheHierarchy|LLCInsert|DRAMRead' -benchmem
+	$(GO) test ./internal/cache/ -run=XXX -bench='SetIndex|LLCLookup|SetAssocReset' -benchmem
+	$(GO) test ./internal/mem/ -run=XXX -bench='MapAddr' -benchmem
+	$(GO) test ./internal/fastdiv/ -run=XXX -bench=. -benchmem
+
 # End-to-end single-run benchmark (whole machine, short windows).
 bench-e2e:
 	$(GO) test . -run=XXX -bench='BenchmarkRunOnce|BenchmarkSimulatedCyclesPerSecond' -benchtime=3x -benchmem
 
-bench: bench-engine bench-e2e
+bench: bench-engine bench-mem bench-e2e
 
 check: build vet test race bench-engine
 

@@ -350,6 +350,29 @@ func BenchmarkRunOnce(b *testing.B) {
 	}
 }
 
+// BenchmarkRunOncePooled is BenchmarkRunOnce served from a machine pool:
+// after the first iteration every run recycles the same machine through
+// Machine.Reset instead of rebuilding ~15MB of caches and tables. Compare
+// its -benchmem numbers against BenchmarkRunOnce to see the construction
+// churn the experiment harness no longer pays; steady-state allocations are
+// near zero (one small rand reseed plus result assembly).
+func BenchmarkRunOncePooled(b *testing.B) {
+	b.ReportAllocs()
+	pool := machine.NewPool(1)
+	cfg := sweeper.DefaultConfig()
+	cfg.OfferedMrps = 10
+	pool.Put(machine.MustNew(cfg)) // warm: measure recycling, not the first build
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := pool.MustGet(cfg)
+		r := m.Run(200_000, 400_000)
+		pool.Put(m)
+		if r.Served == 0 {
+			b.Fatal("no requests served")
+		}
+	}
+}
+
 // BenchmarkSimulatedCyclesPerSecond measures raw simulation speed on the
 // default configuration: reported metric is simulated Mcycles per wall
 // second.

@@ -108,6 +108,12 @@ func (s *Space) checkCore(core int) {
 	}
 }
 
+// Reset releases every AllocApp region, rewinding the allocation cursor to
+// just past the TX rings. Re-running the same allocation sequence afterwards
+// yields identical region bases, which is what lets a pooled machine rebuild
+// its workload at the exact addresses a fresh machine would use.
+func (s *Space) Reset() { s.cursor = s.txEnd }
+
 // AllocApp reserves size bytes of application data and returns the region's
 // base address. Regions are line-aligned and never overlap.
 func (s *Space) AllocApp(size uint64) uint64 {

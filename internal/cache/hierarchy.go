@@ -133,6 +133,22 @@ func NewHierarchy(cfg Config, sink MemSink) *Hierarchy {
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+// Reset returns the hierarchy to its just-constructed state: every cache
+// empty (O(1) generation bumps, not line-by-line), way masks back to
+// unrestricted, and all counters zeroed. Machine pooling uses this to reuse
+// the ~15MB of cache arrays across probes.
+func (h *Hierarchy) Reset() {
+	for i := range h.l1 {
+		h.l1[i].Reset()
+		h.l2[i].Reset()
+		h.cpuMask[i] = MaskAll(h.cfg.LLCWays)
+	}
+	h.llc.Reset()
+	h.nicMask = MaskAll(h.cfg.LLCWays)
+	h.sweeps, h.sweptDirty = 0, 0
+	h.flow = FlowStats{}
+}
+
 // LLC exposes the shared cache for occupancy checks and statistics.
 func (h *Hierarchy) LLC() *SetAssoc { return h.llc }
 
@@ -246,7 +262,11 @@ func (h *Hierarchy) fill(now uint64, core int, a uint64, l1Dirty, l2Dirty bool) 
 // private L2s, where slot recycling silently overwrites it — a dynamic
 // under which the leaks the paper measures barely occur.)
 func (h *Hierarchy) CPURead(now uint64, core int, a uint64) uint64 {
-	if h.l1[core].Lookup(a) != Invalid {
+	l1 := h.l1[core]
+	if l1.lookupFast(a) {
+		return now + h.cfg.L1Lat
+	}
+	if l1.Lookup(a) != Invalid {
 		return now + h.cfg.L1Lat
 	}
 	if h.l2[core].Lookup(a) != Invalid {
@@ -267,7 +287,8 @@ func (h *Hierarchy) CPURead(now uint64, core int, a uint64) uint64 {
 // the completion cycle. Ownership moves to the core's L1: stale copies below
 // are absorbed so a line is dirty in at most one place.
 func (h *Hierarchy) CPUWrite(now uint64, core int, a uint64) uint64 {
-	if h.l1[core].SetDirty(a) {
+	l1 := h.l1[core]
+	if l1.setDirtyFast(a) || l1.SetDirty(a) {
 		return now + h.cfg.L1Lat
 	}
 	if h.l2[core].Lookup(a) != Invalid {
@@ -295,7 +316,8 @@ func (h *Hierarchy) CPUWrite(now uint64, core int, a uint64) uint64 {
 // contents from below, and any stale copies are invalidated without
 // writeback because every byte is overwritten.
 func (h *Hierarchy) CPUWriteFull(now uint64, core int, a uint64) uint64 {
-	if h.l1[core].SetDirty(a) {
+	l1 := h.l1[core]
+	if l1.setDirtyFast(a) || l1.SetDirty(a) {
 		return now + h.cfg.L1Lat
 	}
 	h.l2[core].Invalidate(a)

@@ -4,7 +4,12 @@
 // partitions) and sweep (invalidate-without-writeback) support.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+
+	"sweeper/internal/fastdiv"
+)
 
 const lineBytes = 64
 
@@ -55,18 +60,7 @@ func MaskRange(lo, hi int) WayMask {
 
 // Count returns how many ways the mask allows.
 func (m WayMask) Count() int {
-	n := 0
-	for m != 0 {
-		n += int(m & 1)
-		m >>= 1
-	}
-	return n
-}
-
-type line struct {
-	addr  uint64 // line-aligned address; meaningful only when state != Invalid
-	state State
-	lru   uint64
+	return bits.OnesCount32(uint32(m))
 }
 
 // Victim describes the outcome of an insertion: the displaced line if any,
@@ -78,16 +72,54 @@ type Victim struct {
 	Merged bool // true when the line was already present (update in place)
 }
 
-// SetAssoc is a single set-associative cache array.
-type SetAssoc struct {
-	name  string
-	sets  int
-	ways  int
-	lines []line
-	stamp uint64
+// Generation-stamped words. Both a way's tag and its LRU stamp pack the
+// cache's generation counter (top 16 bits) over a 48-bit payload — the line
+// address for tags, a monotone touch counter for LRU. A way is valid exactly
+// when its tag's generation matches the cache's current one, so Reset only
+// has to bump the generation to invalidate every line in O(1).
+//
+// Stamping the LRU words with the generation as well makes victim selection
+// a single strict-< minimum scan with no validity test: any invalid way
+// carries 0 (never used, explicitly invalidated, or cleared by Reset),
+// which sorts below every live stamp, so invalid ways win eviction before
+// any valid way — exactly the first-invalid-then-LRU policy. Ties (only
+// ever between zero stamps) break toward the lowest way index. Generation 0
+// never becomes current, making a zero word permanently invalid.
+const (
+	genShift = 48
+	addrMask = uint64(1)<<genShift - 1
+	maxGen   = uint64(1) << (64 - genShift)
+)
 
-	hits   uint64
-	misses uint64
+// SetAssoc is a single set-associative cache array.
+//
+// Storage is struct-of-arrays: the hot lookup path scans only the packed
+// tag array (one 8-byte word per way) guided by a one-entry last-hit filter
+// and a per-set MRU hint, while the dirtiness state and LRU stamps live in
+// side arrays touched only on hits and replacements.
+type SetAssoc struct {
+	// Hot fields first, packed so the last-hit fast path (genBase, lastKey,
+	// stamp, lastLRU, hits) shares as few cache lines as possible.
+	genBase uint64  // current generation, pre-shifted: gen<<48
+	lastKey uint64  // tag word of the most recent hit, 0 when unset
+	stamp   uint64  // gen<<48 | touch count; copied into lru on touch
+	lastLRU *uint64 // &lru[lastIdx], kept in sync with lastKey
+	lastSt  *State  // &states[lastIdx], kept in sync with lastKey
+	hits    uint64
+	misses  uint64
+	lastIdx int32 // way-array index behind lastKey
+	ways    int
+	setDiv  fastdiv.Divisor // strength-reduced (addr/64) % sets
+
+	tags   []uint64 // per way: gen<<48 | addr, 0 when invalid
+	lru    []uint64 // per way: gen<<48 | touch count, 0 when invalidated
+	states []State  // per way: Clean/Dirty, meaningful only when valid
+	mru    []uint8  // per set: most-recently-hit way, probed before the scan
+
+	sets     int
+	fullMask WayMask // MaskAll(ways), the unrestricted insert mask
+
+	name string
 }
 
 // NewSetAssoc builds a cache of the given capacity and associativity. The
@@ -105,12 +137,22 @@ func NewSetAssoc(name string, capacityBytes uint64, ways int) *SetAssoc {
 			name, capacityBytes, ways))
 	}
 	sets := int(nLines / uint64(ways))
-	return &SetAssoc{
-		name:  name,
-		sets:  sets,
-		ways:  ways,
-		lines: make([]line, sets*ways),
+	c := &SetAssoc{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		setDiv:   fastdiv.New(uint64(sets)),
+		genBase:  1 << genShift,
+		stamp:    1 << genShift,
+		fullMask: MaskAll(ways),
+		tags:     make([]uint64, sets*ways),
+		lru:      make([]uint64, sets*ways),
+		states:   make([]State, sets*ways),
+		mru:      make([]uint8, sets),
 	}
+	c.lastLRU = &c.lru[0]
+	c.lastSt = &c.states[0]
+	return c
 }
 
 // Name returns the cache's label.
@@ -140,42 +182,156 @@ func (c *SetAssoc) MissRatio() float64 {
 	return float64(c.misses) / float64(total)
 }
 
+// Reset invalidates every line and zeroes the statistics, returning the
+// cache to its just-constructed observable state. The generation bump makes
+// every tag word (and the last-hit filter) stale in O(1); the LRU stamps are
+// cleared with one memclr. Clearing the stamps is not optional: stale stamps
+// sort below every current-generation stamp, so they would still lose to
+// valid lines, but they are *distinct*, so the order in which empty ways
+// fill after a Reset would follow the previous run's touch pattern instead
+// of the lowest-index-first order of a fresh cache — and way masks (DDIO,
+// tenant partitions) make that placement observable. Zeroed stamps restore
+// the fresh tie-break exactly, and a memclr over the stamp array is still
+// far cheaper than reallocating the whole cache (pooled machines recycle a
+// 589k-line LLC between probes). Stale MRU hints are harmless — a hint only
+// short-circuits the scan on an exact current-generation tag match.
+func (c *SetAssoc) Reset() {
+	c.genBase += 1 << genShift
+	if c.genBase == 0 {
+		// Generation space exhausted (the pre-shifted counter wrapped):
+		// take the rare O(capacity) tag clear so words from 65535 resets
+		// ago cannot alias the wrapped generation.
+		for i := range c.tags {
+			c.tags[i] = 0
+		}
+		c.genBase = 1 << genShift
+	}
+	for i := range c.lru {
+		c.lru[i] = 0
+	}
+	c.stamp = c.genBase
+	c.lastKey = 0
+	c.hits, c.misses = 0, 0
+}
+
+// key packs a line address into its current-generation tag word.
+func (c *SetAssoc) key(a uint64) uint64 {
+	return c.genBase | a
+}
+
 func (c *SetAssoc) setIndex(a uint64) int {
-	return int((a / lineBytes) % uint64(c.sets))
+	return int(c.setDiv.Mod(a / lineBytes))
 }
 
-func (c *SetAssoc) set(a uint64) []line {
-	s := c.setIndex(a)
-	return c.lines[s*c.ways : (s+1)*c.ways]
+// setLast points the one-entry last-hit filter at way-array index i.
+func (c *SetAssoc) setLast(key uint64, i int) {
+	c.lastKey = key
+	c.lastIdx = int32(i)
+	c.lastLRU = &c.lru[i]
+	c.lastSt = &c.states[i]
 }
 
-func (c *SetAssoc) find(a uint64) *line {
-	set := c.set(a)
-	for i := range set {
-		if set[i].state != Invalid && set[i].addr == a {
-			return &set[i]
+// scan searches set s for the tag word key, updating the set's MRU hint and
+// the last-hit filter on a match. It returns the way-array index or -1. The
+// caller has already tried the faster paths.
+func (c *SetAssoc) scan(s int, key uint64) int {
+	base := s * c.ways
+	for w, t := range c.tags[base : base+c.ways] {
+		if t == key {
+			c.mru[s] = uint8(w)
+			c.setLast(key, base+w)
+			return base + w
 		}
 	}
-	return nil
+	return -1
+}
+
+// find returns the way-array index holding line a, or -1. It touches only
+// the tag array: validity is implied by the generation bits of the match.
+// Hits are highly repetitive (poll loops re-touch the same lines), so the
+// one-entry last-hit filter and the per-set MRU way are probed before the
+// scan.
+func (c *SetAssoc) find(a uint64) int {
+	key := c.genBase | a
+	if key == c.lastKey {
+		return int(c.lastIdx)
+	}
+	s := c.setIndex(a)
+	if h := s*c.ways + int(c.mru[s]); c.tags[h] == key {
+		return h
+	}
+	return c.scan(s, key)
 }
 
 // Lookup probes for the line, updating LRU and hit/miss statistics. It
 // returns the line's state (Invalid on miss).
 func (c *SetAssoc) Lookup(a uint64) State {
 	c.stamp++
-	if ln := c.find(a); ln != nil {
-		ln.lru = c.stamp
+	key := c.genBase | a
+	// Last-hit fast path, duplicated from find so the common repeated hit
+	// runs without an extra call frame or the set-index computation.
+	if key == c.lastKey {
+		*c.lastLRU = c.stamp
 		c.hits++
-		return ln.state
+		return *c.lastSt
+	}
+	return c.lookupSlow(a, key)
+}
+
+func (c *SetAssoc) lookupSlow(a, key uint64) State {
+	s := c.setIndex(a)
+	if h := s*c.ways + int(c.mru[s]); c.tags[h] == key {
+		c.setLast(key, h)
+		c.lru[h] = c.stamp
+		c.hits++
+		return c.states[h]
+	}
+	if i := c.scan(s, key); i >= 0 {
+		c.lru[i] = c.stamp
+		c.hits++
+		return c.states[i]
 	}
 	c.misses++
 	return Invalid
 }
 
+// lookupFast is the last-hit-filter half of Lookup, small enough for the
+// compiler to inline into the Hierarchy entry points so the dominant
+// repeated-hit case pays no call overhead. It reports only presence — the
+// callers that need it never use the state — keeping the inlined body
+// minimal. On a filter miss it reports false without recording anything;
+// the caller falls back to the full Lookup (the stamp gap this can leave is
+// harmless — only the relative order of LRU stamps matters, and it is
+// preserved).
+func (c *SetAssoc) lookupFast(a uint64) bool {
+	key := c.genBase | a
+	if key != c.lastKey {
+		return false
+	}
+	c.stamp++
+	*c.lastLRU = c.stamp
+	c.hits++
+	return true
+}
+
+// setDirtyFast is the last-hit-filter half of SetDirty, inlined into the
+// Hierarchy write paths; ok=false means the caller must run the full
+// SetDirty.
+func (c *SetAssoc) setDirtyFast(a uint64) (ok bool) {
+	key := c.genBase | a
+	if key != c.lastKey {
+		return false
+	}
+	c.stamp++
+	*c.lastSt = Dirty
+	*c.lastLRU = c.stamp
+	return true
+}
+
 // Peek probes without touching LRU or statistics.
 func (c *SetAssoc) Peek(a uint64) State {
-	if ln := c.find(a); ln != nil {
-		return ln.state
+	if i := c.find(a); i >= 0 {
+		return c.states[i]
 	}
 	return Invalid
 }
@@ -184,9 +340,15 @@ func (c *SetAssoc) Peek(a uint64) State {
 // line was present.
 func (c *SetAssoc) SetDirty(a uint64) bool {
 	c.stamp++
-	if ln := c.find(a); ln != nil {
-		ln.state = Dirty
-		ln.lru = c.stamp
+	key := c.genBase | a
+	if key == c.lastKey {
+		*c.lastSt = Dirty
+		*c.lastLRU = c.stamp
+		return true
+	}
+	if i := c.find(a); i >= 0 {
+		c.states[i] = Dirty
+		c.lru[i] = c.stamp
 		return true
 	}
 	return false
@@ -198,57 +360,119 @@ func (c *SetAssoc) SetDirty(a uint64) bool {
 // by mask is replaced and returned as the victim. A zero mask panics: the
 // caller must always allow at least one way.
 func (c *SetAssoc) Insert(a uint64, dirty bool, mask WayMask) Victim {
+	if a > addrMask {
+		panic(fmt.Sprintf("cache %s: address %#x exceeds the %d-bit tag space",
+			c.name, a, genShift))
+	}
 	c.stamp++
-	if ln := c.find(a); ln != nil {
+	key := c.genBase | a
+
+	// Merge probe, filter level only: the set scan below covers the rest.
+	if key == c.lastKey {
+		i := int(c.lastIdx)
 		if dirty {
-			ln.state = Dirty
+			c.states[i] = Dirty
 		}
-		ln.lru = c.stamp
+		c.lru[i] = c.stamp
 		return Victim{Merged: true}
 	}
-	if mask == 0 {
-		panic(fmt.Sprintf("cache %s: insert with empty way mask", c.name))
-	}
-	set := c.set(a)
+	s := c.setIndex(a)
+	base := s * c.ways
+
+	// One pass over the set resolves the remaining merge probe and the
+	// victim choice together (tags are unique per set, so at most one way
+	// can match). The victim is the plain minimum over the set's
+	// generation-stamped LRU words: see the encoding comment above — invalid
+	// ways sort first, so no validity test is needed in the loop.
 	victimIdx := -1
-	var oldest uint64
-	for i := range set {
-		if mask&(1<<uint(i)) == 0 {
-			continue
+	if mask == c.fullMask {
+		tset := c.tags[base : base+c.ways]
+		lset := c.lru[base : base+c.ways : base+c.ways]
+		// oldest starts above any encodable stamp (gen and count never
+		// saturate), so the w==0 iteration always seeds the minimum.
+		v, oldest := 0, ^uint64(0)
+		for w, t := range tset {
+			if t == key {
+				i := base + w
+				if dirty {
+					c.states[i] = Dirty
+				}
+				c.lru[i] = c.stamp
+				c.mru[s] = uint8(w)
+				return Victim{Merged: true}
+			}
+			if x := lset[w]; x < oldest {
+				oldest = x
+				v = w
+			}
 		}
-		if set[i].state == Invalid {
-			victimIdx = i
-			break
+		victimIdx = base + v
+	} else {
+		if i := c.scan(s, key); i >= 0 {
+			if dirty {
+				c.states[i] = Dirty
+			}
+			c.lru[i] = c.stamp
+			return Victim{Merged: true}
 		}
-		if victimIdx == -1 || set[i].lru < oldest {
-			victimIdx = i
-			oldest = set[i].lru
+		var oldest uint64
+		for w, x := range c.lru[base : base+c.ways] {
+			if mask&(1<<uint(w)) == 0 {
+				continue
+			}
+			if victimIdx == -1 || x < oldest {
+				victimIdx = base + w
+				oldest = x
+			}
+		}
+		if victimIdx == -1 {
+			if mask == 0 {
+				panic(fmt.Sprintf("cache %s: insert with empty way mask", c.name))
+			}
+			panic(fmt.Sprintf("cache %s: way mask %#x selects no ways of %d",
+				c.name, mask, c.ways))
 		}
 	}
-	if victimIdx == -1 {
-		panic(fmt.Sprintf("cache %s: way mask %#x selects no ways of %d",
-			c.name, mask, c.ways))
-	}
+
 	v := Victim{}
-	old := &set[victimIdx]
-	if old.state != Invalid {
-		v = Victim{Addr: old.addr, Dirty: old.state == Dirty, Valid: true}
+	if c.tags[victimIdx]&^addrMask == c.genBase {
+		v = Victim{
+			Addr:  c.tags[victimIdx] & addrMask,
+			Dirty: c.states[victimIdx] == Dirty,
+			Valid: true,
+		}
 	}
 	st := Clean
 	if dirty {
 		st = Dirty
 	}
-	*old = line{addr: a, state: st, lru: c.stamp}
+	if int32(victimIdx) == c.lastIdx {
+		c.lastKey = 0 // the filter's way now holds a different line
+	}
+	c.tags[victimIdx] = key
+	c.states[victimIdx] = st
+	c.lru[victimIdx] = c.stamp
+	c.mru[s] = uint8(victimIdx - base)
 	return v
+}
+
+// drop invalidates way-array index i, keeping the last-hit filter and the
+// LRU encoding (zero stamp sorts first) consistent.
+func (c *SetAssoc) drop(i int) {
+	c.tags[i] = 0
+	c.lru[i] = 0
+	if int32(i) == c.lastIdx {
+		c.lastKey = 0
+	}
 }
 
 // Invalidate drops the line without any writeback (the hardware primitive
 // behind both DMA invalidations and Sweeper's sweep message). It reports
 // whether a line was present and whether it was dirty.
 func (c *SetAssoc) Invalidate(a uint64) (present, dirty bool) {
-	if ln := c.find(a); ln != nil {
-		dirty = ln.state == Dirty
-		ln.state = Invalid
+	if i := c.find(a); i >= 0 {
+		dirty = c.states[i] == Dirty
+		c.drop(i)
 		return true, dirty
 	}
 	return false, false
@@ -258,9 +482,9 @@ func (c *SetAssoc) Invalidate(a uint64) (present, dirty bool) {
 // behaviour after its writeback has been issued). It reports presence and
 // whether the line had been dirty.
 func (c *SetAssoc) MakeClean(a uint64) (present, wasDirty bool) {
-	if ln := c.find(a); ln != nil {
-		wasDirty = ln.state == Dirty
-		ln.state = Clean
+	if i := c.find(a); i >= 0 {
+		wasDirty = c.states[i] == Dirty
+		c.states[i] = Clean
 		return true, wasDirty
 	}
 	return false, false
@@ -269,20 +493,25 @@ func (c *SetAssoc) MakeClean(a uint64) (present, wasDirty bool) {
 // Extract removes the line, returning its state before removal. Used when a
 // line migrates between levels carrying its dirtiness with it.
 func (c *SetAssoc) Extract(a uint64) State {
-	if ln := c.find(a); ln != nil {
-		st := ln.state
-		ln.state = Invalid
+	if i := c.find(a); i >= 0 {
+		st := c.states[i]
+		c.drop(i)
 		return st
 	}
 	return Invalid
+}
+
+// valid reports whether way-array index i holds a current-generation line.
+func (c *SetAssoc) valid(i int) bool {
+	return c.tags[i]&^addrMask == c.genBase
 }
 
 // OccupancyByClass counts valid lines for which classify returns true, for
 // occupancy studies and tests.
 func (c *SetAssoc) OccupancyByClass(classify func(addr uint64) bool) int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].state != Invalid && classify(c.lines[i].addr) {
+	for i := range c.tags {
+		if c.valid(i) && classify(c.tags[i]&addrMask) {
 			n++
 		}
 	}
@@ -292,8 +521,8 @@ func (c *SetAssoc) OccupancyByClass(classify func(addr uint64) bool) int {
 // ValidLines returns the number of non-invalid lines.
 func (c *SetAssoc) ValidLines() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].state != Invalid {
+	for i := range c.tags {
+		if c.valid(i) {
 			n++
 		}
 	}
@@ -301,22 +530,28 @@ func (c *SetAssoc) ValidLines() int {
 }
 
 // checkSetInvariant verifies no duplicate tags within a set; used by tests.
+// One scratch buffer serves every set: with at most 32 ways a linear scan
+// beats a per-set map allocation.
 func (c *SetAssoc) checkSetInvariant() error {
+	var scratch [32]uint64
 	for s := 0; s < c.sets; s++ {
-		set := c.lines[s*c.ways : (s+1)*c.ways]
-		seen := make(map[uint64]bool, c.ways)
-		for i := range set {
-			if set[i].state == Invalid {
+		base := s * c.ways
+		seen := scratch[:0]
+		for w := 0; w < c.ways; w++ {
+			if !c.valid(base + w) {
 				continue
 			}
-			if seen[set[i].addr] {
-				return fmt.Errorf("cache %s: duplicate line %#x in set %d",
-					c.name, set[i].addr, s)
+			a := c.tags[base+w] & addrMask
+			for _, prev := range seen {
+				if prev == a {
+					return fmt.Errorf("cache %s: duplicate line %#x in set %d",
+						c.name, a, s)
+				}
 			}
-			seen[set[i].addr] = true
-			if c.setIndex(set[i].addr) != s {
+			seen = append(seen, a)
+			if c.setIndex(a) != s {
 				return fmt.Errorf("cache %s: line %#x in wrong set %d",
-					c.name, set[i].addr, s)
+					c.name, a, s)
 			}
 		}
 	}

@@ -79,6 +79,18 @@ func New(hw Sweepable, cfg Config) *Sweeper {
 	return s
 }
 
+// Reset returns the Sweeper to its just-constructed state under a (possibly
+// different) configuration, as New over the same hardware would produce.
+func (s *Sweeper) Reset(cfg Config) {
+	s.cfg = cfg
+	s.relinquishes, s.sweptLines, s.droppedDirty, s.nicSweeps = 0, 0, 0, 0
+	s.relinquished = nil
+	if cfg.DebugUseAfterRelinquish {
+		s.relinquished = make(map[uint64]bool)
+	}
+	s.violations = nil
+}
+
 // Config returns the active configuration.
 func (s *Sweeper) Config() Config { return s.cfg }
 

@@ -143,6 +143,30 @@ func NewCore(id int, eng *sim.Engine, env Env, cfg CoreConfig) *Core {
 	return &Core{id: id, eng: eng, env: env, cfg: cfg, idle: true}
 }
 
+// Reset returns the core to its just-constructed state under a new
+// configuration, reusing the plan and line-address scratch slices. The
+// retained capacity never changes behaviour: every slice is truncated before
+// use and the access plan is rebuilt per request.
+func (c *Core) Reset(cfg CoreConfig) {
+	if cfg.TXSlots <= 0 || cfg.TXSlotBytes == 0 {
+		panic("cpu: core needs a TX ring")
+	}
+	if cfg.MLP <= 0 {
+		cfg.MLP = 1
+	}
+	c.cfg = cfg
+	c.idle = true
+	c.nextTX = 0
+	c.rxLines = c.rxLines[:0]
+	c.txLines = c.txLines[:0]
+	c.cur = nic.Packet{}
+	c.start = 0
+	c.phase = phasePoll
+	c.idx = 0
+	c.txAddr, c.txBytes = 0, 0
+	c.served = 0
+}
+
 // ID returns the core's index.
 func (c *Core) ID() int { return c.id }
 
@@ -332,6 +356,13 @@ const xmemMLP = 4
 // NewXMemCore creates an X-Mem tenant core.
 func NewXMemCore(id int, eng *sim.Engine, env Env, stream *workload.XMem) *XMemCore {
 	return &XMemCore{id: id, eng: eng, env: env, stream: stream}
+}
+
+// Reset returns the tenant core to its just-constructed state. The caller
+// resets the underlying stream separately (it owns the seed).
+func (x *XMemCore) Reset() {
+	x.accesses = 0
+	x.stopped = false
 }
 
 // ID returns the core's index.

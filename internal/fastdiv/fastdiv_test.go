@@ -1,0 +1,81 @@
+package fastdiv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkAgainstNaive(t *testing.T, d, n uint64) {
+	t.Helper()
+	v := New(d)
+	if got := v.Div(n); got != n/d {
+		t.Fatalf("Div(%d) by %d = %d, want %d", n, d, got, n/d)
+	}
+	if got := v.Mod(n); got != n%d {
+		t.Fatalf("Mod(%d) by %d = %d, want %d", n, d, got, n%d)
+	}
+	q, r := v.DivMod(n)
+	if q != n/d || r != n%d {
+		t.Fatalf("DivMod(%d) by %d = (%d,%d), want (%d,%d)", n, d, q, r, n/d, n%d)
+	}
+}
+
+func TestDivisorKnownGeometries(t *testing.T) {
+	// The divisors the simulator actually builds: Table I set counts
+	// (49152-set LLC is the critical non-power-of-two), channel counts,
+	// banks and lines-per-row.
+	divisors := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 12, 32, 64, 128, 1024,
+		49152, 49151, 65536, 100003}
+	ns := []uint64{0, 1, 2, 63, 64, 49151, 49152, 49153, 1 << 20,
+		1<<32 - 1, 1 << 32, 1<<32 + 1, 1 << 48, ^uint64(0)}
+	for _, d := range divisors {
+		for _, n := range ns {
+			checkAgainstNaive(t, d, n)
+		}
+	}
+}
+
+func TestDivisorRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200000; i++ {
+		d := rng.Uint64()%(1<<20) + 1
+		n := rng.Uint64() >> uint(rng.Intn(64))
+		checkAgainstNaive(t, d, n)
+	}
+}
+
+func TestDivisorHugeDivisorFallback(t *testing.T) {
+	for _, d := range []uint64{1<<32 + 1, 1<<40 + 7, ^uint64(0)} {
+		for _, n := range []uint64{0, 1 << 33, ^uint64(0)} {
+			checkAgainstNaive(t, d, n)
+		}
+	}
+}
+
+func TestZeroDivisorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func BenchmarkDivNaive49152(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += uint64(i) % sets49152
+	}
+	_ = sink
+}
+
+var sets49152 uint64 = 49152 // variable so the compiler cannot strength-reduce
+
+func BenchmarkDivMagic49152(b *testing.B) {
+	v := New(49152)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += v.Mod(uint64(i))
+	}
+	_ = sink
+}

@@ -78,7 +78,25 @@ func New(cfg Config) (*Machine, error) {
 
 	m.dram = mem.New(cfg.Mem)
 	m.hier = cache.NewHierarchy(cfg.Cache, (*memSink)(m))
+	m.sweep = core.New(m.hier, cfg.Sweeper)
+	m.nicD = nic.New(nic.Config{
+		Mode:      cfg.NICMode,
+		RingSlots: cfg.RingSlots,
+		SlotBytes: cfg.PacketBytes,
+	}, m.space, m.hier)
 
+	if err := m.configure(cfg); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// configure performs every configuration-dependent assembly step over
+// already-allocated (or freshly Reset) subsystems: way masks, NIC policy and
+// hooks, workload layout (in address-space allocation order), cores, tenant
+// streams and the traffic generator. New and Reset share it verbatim, which
+// is what guarantees a pooled machine is configured exactly like a fresh one.
+func (m *Machine) configure(cfg Config) error {
 	switch cfg.NICMode {
 	case nic.ModeDDIO:
 		if cfg.NICWayMask != 0 {
@@ -98,13 +116,6 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 
-	m.sweep = core.New(m.hier, cfg.Sweeper)
-
-	m.nicD = nic.New(nic.Config{
-		Mode:      cfg.NICMode,
-		RingSlots: cfg.RingSlots,
-		SlotBytes: cfg.PacketBytes,
-	}, m.space, m.hier)
 	if cfg.NeBuLaDropDepth > 0 {
 		m.nicD.SetDropDepth(cfg.NeBuLaDropDepth)
 	}
@@ -120,52 +131,154 @@ func New(cfg Config) (*Machine, error) {
 
 	switch cfg.Workload {
 	case WorkloadKVS:
-		m.kvs = workload.NewKVS(workload.DefaultKVSConfig(cfg.ItemBytes), m.space)
+		m.l3fwd = nil
+		kcfg := workload.DefaultKVSConfig(cfg.ItemBytes)
+		if m.kvs != nil && m.kvs.Config() == kcfg {
+			m.kvs.Reset(m.space)
+		} else {
+			m.kvs = workload.NewKVS(kcfg, m.space)
+		}
 		if cfg.WarmLLC {
 			m.warmLLC()
 		}
-	case WorkloadL3Fwd:
-		m.l3fwd = workload.NewL3Fwd(workload.DefaultL3FwdConfig(), m.space)
-	case WorkloadL3FwdL1:
-		m.l3fwd = workload.NewL3Fwd(workload.L1ResidentL3FwdConfig(), m.space)
+	case WorkloadL3Fwd, WorkloadL3FwdL1:
+		m.kvs = nil
+		fcfg := workload.DefaultL3FwdConfig()
+		if cfg.Workload == WorkloadL3FwdL1 {
+			fcfg = workload.L1ResidentL3FwdConfig()
+		}
+		if m.l3fwd != nil && m.l3fwd.Config() == fcfg {
+			m.l3fwd.Reset(m.space)
+		} else {
+			m.l3fwd = workload.NewL3Fwd(fcfg, m.space)
+		}
 	default:
-		return nil, fmt.Errorf("machine: unknown workload %v", cfg.Workload)
+		return fmt.Errorf("machine: unknown workload %v", cfg.Workload)
 	}
 
-	m.cores = make([]*cpu.Core, cfg.NetCores)
+	if len(m.cores) != cfg.NetCores {
+		m.cores = make([]*cpu.Core, cfg.NetCores)
+	}
 	for i := range m.cores {
-		m.cores[i] = cpu.NewCore(i, m.eng, m, cpu.CoreConfig{
+		ccfg := cpu.CoreConfig{
 			PollCycles:  cfg.PollCycles,
 			TXSlots:     cfg.TXSlots,
 			TXSlotBytes: cfg.respSlotBytes(),
 			TXBase:      m.space.TXBase(i),
 			SweepTX:     cfg.SweepTX,
 			MLP:         cfg.MLPWidth,
-		})
+		}
+		if m.cores[i] != nil {
+			m.cores[i].Reset(ccfg)
+		} else {
+			m.cores[i] = cpu.NewCore(i, m.eng, m, ccfg)
+		}
 	}
-	m.xmem = make([]*cpu.XMemCore, cfg.XMemCores)
+	if len(m.xmem) != cfg.XMemCores {
+		m.xmem = make([]*cpu.XMemCore, cfg.XMemCores)
+	}
 	for i := range m.xmem {
 		id := cfg.NetCores + i
-		stream := workload.NewXMem(workload.DefaultXMemConfig(), m.space,
-			uint64(cfg.Seed)+uint64(id)*977)
-		m.xmem[i] = cpu.NewXMemCore(id, m.eng, m, stream)
+		seed := uint64(cfg.Seed) + uint64(id)*977
+		if m.xmem[i] != nil {
+			m.xmem[i].Stream().Reset(m.space, seed)
+			m.xmem[i].Reset()
+		} else {
+			stream := workload.NewXMem(workload.DefaultXMemConfig(), m.space, seed)
+			m.xmem[i] = cpu.NewXMemCore(id, m.eng, m, stream)
+		}
 	}
 
 	if cfg.ClosedLoopDepth > 0 {
-		m.cgen = nic.NewClosedLoopGen(m.nicD, cfg.PacketBytes, cfg.ClosedLoopDepth, cfg.Seed)
+		m.pgen = nil
+		if m.cgen != nil {
+			m.cgen.Reset(cfg.ClosedLoopDepth, cfg.Seed)
+		} else {
+			m.cgen = nic.NewClosedLoopGen(m.nicD, cfg.PacketBytes, cfg.ClosedLoopDepth, cfg.Seed)
+		}
 		m.cgen.SetTargetCores(cfg.NetCores)
 		if m.kvs != nil {
 			m.cgen.SetSizer(m.kvs.RequestBytes)
 		}
 	} else {
+		m.cgen = nil
 		gap := stats.CyclesPerSecond(cfg.OfferedMrps*1e6, cfg.FreqHz)
-		m.pgen = nic.NewPoissonGen(m.eng, m.nicD, cfg.PacketBytes, gap, cfg.Seed)
+		if m.pgen != nil {
+			m.pgen.Reset(gap, cfg.Seed)
+		} else {
+			m.pgen = nic.NewPoissonGen(m.eng, m.nicD, cfg.PacketBytes, gap, cfg.Seed)
+		}
 		m.pgen.SetTargetCores(cfg.NetCores)
 		if m.kvs != nil {
 			m.pgen.SetSizer(m.kvs.RequestBytes)
 		}
 	}
-	return m, nil
+	return nil
+}
+
+// geometry captures every allocation-shaping parameter of a Config: the
+// parts of a machine that Reset reuses in place rather than reconfigures.
+// Two configs with equal geometry can share one pooled machine.
+type geometry struct {
+	netCores, xmemCores int
+	ringSlots           int
+	packetBytes         uint64
+	txSlots             int
+	respSlotBytes       uint64
+	cache               cache.Config
+	mem                 mem.Config
+}
+
+func geometryOf(cfg Config) geometry {
+	return geometry{
+		netCores:      cfg.NetCores,
+		xmemCores:     cfg.XMemCores,
+		ringSlots:     cfg.RingSlots,
+		packetBytes:   cfg.PacketBytes,
+		txSlots:       cfg.TXSlots,
+		respSlotBytes: cfg.respSlotBytes(),
+		cache:         cfg.Cache,
+		mem:           cfg.Mem,
+	}
+}
+
+// Reset returns a used machine to the state New(cfg) would produce, reusing
+// every geometry-sized allocation: the engine's event slab, the cache arrays
+// (~15MB for Table I), DRAM channel state, ring storage and the workload's
+// per-key arrays. The new configuration must have the same geometry as the
+// one the machine was built with (same core counts, ring shapes, cache and
+// DRAM sizing); non-geometric knobs — seeds, rates, modes, way masks,
+// Sweeper settings — may differ freely. Reset-then-Run is bit-identical to
+// fresh-build-then-Run.
+func (m *Machine) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	total := cfg.NetCores + cfg.XMemCores
+	cfg.Cache.NCores = total
+	if geometryOf(cfg) != geometryOf(m.cfg) {
+		return fmt.Errorf("machine: Reset geometry mismatch (build a fresh machine): have %+v, want %+v",
+			geometryOf(m.cfg), geometryOf(cfg))
+	}
+	m.cfg = cfg
+	m.eng.Reset()
+	m.rng.Seed(cfg.Seed ^ 0x5eed)
+	m.dramLat.Reset()
+	m.reqLat.Reset()
+	m.space.Reset()
+	m.dram.Reset()
+	m.hier.Reset()
+	m.sweep.Reset(cfg.Sweeper)
+	m.nicD.Reset(cfg.NICMode)
+
+	m.breakdown.Reset()
+	m.served, m.svcSum, m.svcCount = 0, 0, 0
+	m.measuring, m.ran = false, false
+	m.trace = nil
+	m.dynWays, m.dynAdjustments = 0, 0
+	m.dynLast = [stats.NumKinds]uint64{}
+
+	return m.configure(cfg)
 }
 
 // MustNew is New, panicking on configuration errors; a convenience for

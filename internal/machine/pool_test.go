@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"sweeper/internal/core"
+	"sweeper/internal/nic"
+)
+
+// poolCases mirrors the fresh-machine determinism matrix: the same six
+// representative configurations must behave identically when served by a
+// recycled machine.
+func poolCases() map[string]func(*Config) {
+	return map[string]func(*Config){
+		"open-loop-ddio": func(c *Config) {},
+		"sweeper": func(c *Config) {
+			c.Sweeper = core.Config{RXSweep: true, IssueCyclesPerLine: 1}
+		},
+		"closed-loop": func(c *Config) {
+			c.OfferedMrps = 0
+			c.ClosedLoopDepth = 64
+		},
+		"dma": func(c *Config) {
+			c.NICMode = nic.ModeDMA
+		},
+		"collocated-xmem": func(c *Config) {
+			c.NetCores = 8
+			c.XMemCores = 4
+		},
+		"dynamic-ddio": func(c *Config) {
+			c.DynamicDDIOEpoch = 50_000
+		},
+	}
+}
+
+// dirtyVariant derives a same-geometry configuration that differs in every
+// non-geometric dimension we can easily flip — seed, Sweeper, NIC mode and
+// even the traffic-generator kind — so the recycled machine's prior life
+// looks nothing like the run under test.
+func dirtyVariant(cfg Config) Config {
+	d := cfg
+	d.Seed = cfg.Seed + 17
+	d.Sweeper = core.Config{RXSweep: !cfg.Sweeper.RXSweep, IssueCyclesPerLine: 1}
+	if d.NICMode == nic.ModeDDIO {
+		d.NICMode = nic.ModeDMA
+	} else {
+		d.NICMode = nic.ModeDDIO
+	}
+	if d.ClosedLoopDepth > 0 {
+		d.ClosedLoopDepth = 0
+		d.OfferedMrps = 8
+	} else {
+		d.OfferedMrps = 0
+		d.ClosedLoopDepth = 32
+	}
+	return d
+}
+
+// TestPooledMachineBitIdenticalToFresh is the pooling safety net: a machine
+// recycled from an unrelated (same-geometry) run must produce Results that
+// are identical in every field to a freshly built machine's.
+func TestPooledMachineBitIdenticalToFresh(t *testing.T) {
+	for name, mutate := range poolCases() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := quickCfg()
+			mutate(&cfg)
+			fresh := MustNew(cfg).Run(400_000, 300_000)
+
+			pool := NewPool(1)
+			m := pool.MustGet(dirtyVariant(cfg))
+			m.Run(100_000, 50_000)
+			pool.Put(m)
+
+			recycled := pool.MustGet(cfg)
+			if recycled != m {
+				t.Fatal("pool built a fresh machine instead of recycling")
+			}
+			pooled := recycled.Run(400_000, 300_000)
+			if !reflect.DeepEqual(fresh, pooled) {
+				t.Fatalf("pooled run diverged from fresh:\n  fresh:  %+v\n  pooled: %+v", fresh, pooled)
+			}
+		})
+	}
+}
+
+// TestPoolGeometryMiss ensures a geometry change cannot recycle an
+// incompatible machine: the pool must build a fresh one.
+func TestPoolGeometryMiss(t *testing.T) {
+	pool := NewPool(2)
+	a := pool.MustGet(quickCfg())
+	pool.Put(a)
+
+	small := quickCfg()
+	small.NetCores = 4
+	b := pool.MustGet(small)
+	if b == a {
+		t.Fatal("pool recycled a machine across different geometries")
+	}
+}
+
+// TestResetRejectsGeometryMismatch guards the direct Reset API.
+func TestResetRejectsGeometryMismatch(t *testing.T) {
+	m := MustNew(quickCfg())
+	bad := quickCfg()
+	bad.RingSlots *= 2
+	if err := m.Reset(bad); err == nil {
+		t.Fatal("Reset accepted a geometry-changing config")
+	}
+	// A same-geometry Reset must succeed even after an error attempt.
+	good := quickCfg()
+	good.Seed = 99
+	if err := m.Reset(good); err != nil {
+		t.Fatalf("Reset rejected a same-geometry config: %v", err)
+	}
+}
+
+// TestPoolIdleCap checks that Put drops machines beyond the idle cap rather
+// than growing without bound.
+func TestPoolIdleCap(t *testing.T) {
+	pool := NewPool(1)
+	cfg := quickCfg()
+	a, b := MustNew(cfg), MustNew(cfg)
+	pool.Put(a)
+	pool.Put(b) // beyond cap: dropped
+	first := pool.MustGet(cfg)
+	if first != a {
+		t.Fatal("expected the first pooled machine back")
+	}
+	second := pool.MustGet(cfg)
+	if second == b {
+		t.Fatal("machine beyond the idle cap was retained")
+	}
+}

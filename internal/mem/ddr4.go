@@ -15,7 +15,11 @@
 // scheduler.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"sweeper/internal/fastdiv"
+)
 
 // Timing holds DDR4 timing parameters in DRAM clock cycles.
 type Timing struct {
@@ -117,6 +121,11 @@ type DDR4 struct {
 	tREFI, tRFC                           uint64
 	linesPerRow                           uint64
 	channels                              []channel
+	// Strength-reduced divisors for the per-transaction address mapping
+	// (channel count is 3 in some sweeps — not a power of two).
+	chDiv   fastdiv.Divisor // by len(channels)
+	rowDiv  fastdiv.Divisor // by linesPerRow
+	bankDiv fastdiv.Divisor // by banks per channel
 
 	refreshes uint64
 
@@ -158,6 +167,9 @@ func New(cfg Config) *DDR4 {
 		channels:    make([]channel, cfg.Channels),
 	}
 	nBanks := cfg.RanksPerChannel * cfg.BanksPerRank
+	m.chDiv = fastdiv.New(uint64(cfg.Channels))
+	m.rowDiv = fastdiv.New(m.linesPerRow)
+	m.bankDiv = fastdiv.New(uint64(nBanks))
 	for i := range m.channels {
 		m.channels[i].banks = make([]bank, nBanks)
 		for b := range m.channels[i].banks {
@@ -171,18 +183,33 @@ func New(cfg Config) *DDR4 {
 // Config returns the configuration the model was built with.
 func (m *DDR4) Config() Config { return m.cfg }
 
+// Reset returns the model to its just-constructed state: all rows closed,
+// buses idle, write queues empty, refresh schedules rewound and counters
+// zeroed. Pooled machines call this instead of rebuilding the channel state.
+func (m *DDR4) Reset() {
+	for i := range m.channels {
+		c := &m.channels[i]
+		for b := range c.banks {
+			c.banks[b] = bank{openRow: -1}
+		}
+		c.busFreeAt = 0
+		c.pendingWrites = 0
+		c.nextRefreshAt = m.tREFI
+	}
+	m.refreshes, m.reads, m.writes = 0, 0, 0
+}
+
 // map splits a line address into channel, bank and row, interleaving
 // consecutive lines across channels and keeping a row's columns together so
 // streaming accesses enjoy row-buffer hits.
 func (m *DDR4) mapAddr(a uint64) (ch int, bk int, row int64) {
 	li := a / lineBytes
-	nCh := uint64(len(m.channels))
-	ch = int(li % nCh)
-	rest := li / nCh
-	rest /= m.linesPerRow // drop column bits
-	nBanks := uint64(len(m.channels[ch].banks))
-	bk = int(rest % nBanks)
-	row = int64(rest / nBanks)
+	q, r := m.chDiv.DivMod(li)
+	ch = int(r)
+	rest := m.rowDiv.Div(q) // drop column bits
+	bkq, bkr := m.bankDiv.DivMod(rest)
+	bk = int(bkr)
+	row = int64(bkq)
 	return ch, bk, row
 }
 

@@ -39,6 +39,21 @@ func NewPoissonGen(eng *sim.Engine, n *NIC, size uint64, meanGapCycles float64, 
 	}
 }
 
+// Reset restores the generator to its just-constructed state with a new rate
+// and seed, reusing its rand source. The sizer and target-core restriction
+// are cleared; the owner re-installs them as after NewPoissonGen.
+func (g *PoissonGen) Reset(meanGapCycles float64, seed int64) {
+	if meanGapCycles <= 0 {
+		panic("nic: mean inter-arrival gap must be positive")
+	}
+	g.rng.Seed(seed)
+	g.meanGap = meanGapCycles
+	g.sizer = nil
+	g.cores = g.nic.NumRings()
+	g.stopped = false
+	g.offered = 0
+}
+
 // SetSizer installs a per-packet size function of the tag (e.g. small GET
 // requests vs item-sized SETs), overriding the fixed size.
 func (g *PoissonGen) SetSizer(fn func(tag uint64) uint64) { g.sizer = fn }
@@ -118,6 +133,22 @@ func NewClosedLoopGen(n *NIC, size uint64, depth int, seed int64) *ClosedLoopGen
 		size:  size,
 		cores: n.NumRings(),
 	}
+}
+
+// Reset restores the generator with a new depth and seed, reusing its rand
+// source. The sizer and target-core restriction are cleared; the owner
+// re-installs them as after NewClosedLoopGen.
+func (g *ClosedLoopGen) Reset(depth int, seed int64) {
+	if depth <= 0 {
+		panic("nic: closed-loop depth must be positive")
+	}
+	if depth > g.nic.Ring(0).Slots() {
+		panic("nic: closed-loop depth exceeds ring size")
+	}
+	g.rng.Seed(seed)
+	g.depth = depth
+	g.sizer = nil
+	g.cores = g.nic.NumRings()
 }
 
 // SetSizer installs a per-packet size function of the tag.

@@ -135,6 +135,21 @@ func New(cfg Config, space *addr.Space, inj Injector) *NIC {
 	return n
 }
 
+// Reset returns the NIC to its just-constructed state under a (possibly
+// different) injection mode, reusing the rings and scratch buffers. Hooks
+// (TX sweeper, overwrite listener, enqueue callback) and the drop policy are
+// cleared; the owner re-wires them exactly as after New.
+func (n *NIC) Reset(mode Mode) {
+	n.mode = mode
+	n.sweeper, n.overw, n.onEnqueue = nil, nil, nil
+	n.dropDepth = 0
+	n.seq = 0
+	n.injected, n.policyDrops, n.txPackets, n.txLines = 0, 0, 0, 0
+	for _, r := range n.rings {
+		r.Reset()
+	}
+}
+
 // Mode returns the injection policy.
 func (n *NIC) Mode() Mode { return n.mode }
 

@@ -101,6 +101,15 @@ func (r *Ring) Dropped() uint64  { return r.dropped }
 // ResetCounters zeroes the enqueue/drop counters (measurement windows).
 func (r *Ring) ResetCounters() { r.enqueued, r.dropped = 0, 0 }
 
+// Reset empties the ring, reusing the packet queue storage. Stale Packet
+// values remain in the backing array but are unreachable (countQ == 0) and
+// overwritten before any Pop can observe them.
+func (r *Ring) Reset() {
+	r.headQ, r.countQ = 0, 0
+	r.nextSlot, r.inUse = 0, 0
+	r.enqueued, r.dropped = 0, 0
+}
+
 // Reserve claims the next free slot for an incoming packet, returning the
 // slot index, or false if the ring is full (the arrival is dropped by the
 // caller).

@@ -122,6 +122,37 @@ func NewEngine() *Engine {
 	return e
 }
 
+// Reset returns the engine to its just-constructed observable state — clock
+// at zero, no pending events — while retaining the node slab and overflow
+// heap capacity. Every node's generation is bumped and its callback cleared,
+// so Handles from before the Reset cannot cancel recycled events and
+// captured state is released to the GC; the free list is rebuilt in slab
+// order so allocation proceeds exactly as in a fresh engine.
+func (e *Engine) Reset() {
+	for w := 0; w < wheelWords; w++ {
+		word := e.occ[w]
+		for word != 0 {
+			bkt := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			e.buckets[bkt] = bucket{head: noNode, tail: noNode}
+		}
+		e.occ[w] = 0
+	}
+	e.free = noNode
+	for i := len(e.nodes) - 1; i >= 0; i-- {
+		n := &e.nodes[i]
+		n.fn, n.sink = nil, nil
+		n.dead = false
+		n.gen++
+		n.next = e.free
+		e.free = int32(i)
+	}
+	e.overflow = e.overflow[:0]
+	e.wheelCount = 0
+	e.now, e.seq = 0, 0
+	e.live, e.dead = 0, 0
+}
+
 // Now reports the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 

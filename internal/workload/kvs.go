@@ -90,6 +90,23 @@ func NewKVS(cfg KVSConfig, space *addr.Space) *KVS {
 	return k
 }
 
+// Reset re-initializes the store against a freshly Reset address space,
+// reusing the per-key location/version arrays (tens of MB for the default
+// 2.4M keys) and the Zipf sampler. It repeats NewKVS's allocation sequence —
+// buckets then log — so, given the same space state, the store lands at the
+// same addresses and the pre-population walk reproduces the same layout.
+func (k *KVS) Reset(space *addr.Space) {
+	k.bucketsBase = space.AllocApp(k.cfg.Buckets * addr.LineBytes)
+	k.logBase = space.AllocApp(k.cfg.LogBytes)
+	k.logHead = 0
+	k.gets, k.sets = 0, 0
+	for i := uint64(0); i < k.cfg.Keys; i++ {
+		k.keyLoc[i] = k.logHead
+		k.keyVer[i] = splitmix64(i)
+		k.advanceLog()
+	}
+}
+
 func (k *KVS) advanceLog() {
 	k.logHead += k.cfg.ItemBytes
 	if k.logHead+k.cfg.ItemBytes > k.cfg.LogBytes {

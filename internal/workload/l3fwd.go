@@ -56,6 +56,13 @@ func NewL3Fwd(cfg L3FwdConfig, space *addr.Space) *L3Fwd {
 	}
 }
 
+// Reset re-allocates the route table in a freshly Reset address space and
+// clears the packet counter, mirroring NewL3Fwd.
+func (f *L3Fwd) Reset(space *addr.Space) {
+	f.routesBase = space.AllocApp(f.cfg.Rules * addr.LineBytes)
+	f.forwarded = 0
+}
+
 // Name implements Workload.
 func (f *L3Fwd) Name() string { return fmt.Sprintf("l3fwd-%dr", f.cfg.Rules) }
 

@@ -48,6 +48,14 @@ func NewXMem(cfg XMemConfig, space *addr.Space, seed uint64) *XMem {
 	}
 }
 
+// Reset re-allocates the private array in a freshly Reset address space and
+// restarts the access stream from seed, mirroring NewXMem.
+func (x *XMem) Reset(space *addr.Space, seed uint64) {
+	x.base = space.AllocApp(x.cfg.ArrayBytes)
+	x.state = splitmix64(seed | 1)
+	x.accesses = 0
+}
+
 // Name labels the instance.
 func (x *XMem) Name() string { return fmt.Sprintf("xmem-%dMB", x.cfg.ArrayBytes>>20) }
 
