@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-engine bench-mem bench-e2e check results
+.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e check results
 
 all: check
 
@@ -16,6 +16,16 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Skips with a notice when staticcheck is not on
+# PATH (offline sandboxes); CI installs it and fails on findings.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "lint: staticcheck not installed, skipping" ; \
+		echo "      (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
+	fi
 
 # The race detector is ~10x; the experiments package alone needs more than
 # the default 10m test timeout on small machines.
@@ -40,7 +50,7 @@ bench-e2e:
 
 bench: bench-engine bench-mem bench-e2e
 
-check: build vet test race bench-engine
+check: build vet lint test race bench-engine
 
 # Regenerate the committed experiment artifacts (takes a while).
 results:

@@ -325,7 +325,8 @@ func BenchmarkZipfSample(b *testing.B) {
 
 func BenchmarkKVSPlan(b *testing.B) {
 	space := addrSpace()
-	k := workload.NewKVS(workload.DefaultKVSConfig(1024), space)
+	k := workload.NewKVS(workload.DefaultKVSConfig(1024))
+	k.Layout(space)
 	var plan workload.Plan
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

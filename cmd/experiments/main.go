@@ -123,16 +123,5 @@ func writeCDFs(path string, r experiments.Fig6Result) error {
 		return err
 	}
 	defer f.Close()
-	if _, err := fmt.Fprintln(f, "config,context,at_mrps,latency_cycles,cdf"); err != nil {
-		return err
-	}
-	for _, c := range r.Curves {
-		for _, p := range c.CDF {
-			if _, err := fmt.Fprintf(f, "%s,%s,%.3f,%d,%.6f\n",
-				c.Config, c.Context, c.AtMrps, p.Value, p.Fraction); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return experiments.WriteCDFCSV(f, r)
 }

@@ -2,10 +2,12 @@
 // prints its measured results: throughput, memory bandwidth, the DRAM
 // access breakdown, latency percentiles and Sweeper activity.
 //
-// Example:
+// Examples:
 //
 //	sweepersim -workload kvs -mode ddio -ways 2 -ring 1024 -packet 1024 \
 //	           -rate 30 -sweeper
+//	sweepersim -scenario examples/scenarios/fig1.json
+//	sweepersim -list
 package main
 
 import (
@@ -13,12 +15,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"sweeper/internal/core"
 	"sweeper/internal/machine"
 	"sweeper/internal/nic"
 	"sweeper/internal/prof"
+	"sweeper/internal/scenario"
 	"sweeper/internal/stats"
+	"sweeper/internal/workload"
 )
 
 func main() {
@@ -26,7 +31,9 @@ func main() {
 	log.SetPrefix("sweepersim: ")
 
 	var (
-		workloadName = flag.String("workload", "kvs", "workload: kvs, l3fwd, l3fwd-l1")
+		scenarioPath = flag.String("scenario", "", "run a declarative scenario spec file (overrides config flags)")
+		listAll      = flag.Bool("list", false, "list builtin scenarios and registered workloads, then exit")
+		workloadName = flag.String("workload", "kvs", "workload registry name (see -list)")
 		modeName     = flag.String("mode", "ddio", "injection: dma, ddio, idio, ideal")
 		ways         = flag.Int("ways", 2, "DDIO LLC ways")
 		ring         = flag.Int("ring", 1024, "RX buffers per core")
@@ -53,11 +60,21 @@ func main() {
 	)
 	flag.Parse()
 
+	if *listAll {
+		list(os.Stdout)
+		return
+	}
+
 	stopProfiles, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer stopProfiles()
+
+	if *scenarioPath != "" {
+		runScenario(*scenarioPath, *warmup, *measure)
+		return
+	}
 
 	cfg := machine.DefaultConfig()
 	cfg.NetCores = *cores
@@ -90,28 +107,14 @@ func main() {
 	cfg.Sweeper.DebugUseAfterRelinquish = *sanitize
 	cfg.DynamicDDIOEpoch = *dynEpoch
 
-	switch *workloadName {
-	case "kvs":
-		cfg.Workload = machine.WorkloadKVS
-	case "l3fwd":
-		cfg.Workload = machine.WorkloadL3Fwd
-	case "l3fwd-l1":
-		cfg.Workload = machine.WorkloadL3FwdL1
-	default:
-		log.Fatalf("unknown workload %q", *workloadName)
+	// The registry validates the workload name inside machine.New; the
+	// mode string parses through the scenario grammar.
+	cfg.Workload = *workloadName
+	mode, err := scenario.Variant{Mode: *modeName}.NICMode()
+	if err != nil {
+		log.Fatal(err)
 	}
-	switch *modeName {
-	case "dma":
-		cfg.NICMode = nic.ModeDMA
-	case "ddio":
-		cfg.NICMode = nic.ModeDDIO
-	case "idio":
-		cfg.NICMode = nic.ModeIDIO
-	case "ideal":
-		cfg.NICMode = nic.ModeIdeal
-	default:
-		log.Fatalf("unknown mode %q", *modeName)
-	}
+	cfg.NICMode = mode
 
 	m, err := machine.New(cfg)
 	if err != nil {
@@ -143,6 +146,45 @@ func main() {
 		}
 	}
 	_ = os.Stdout.Sync()
+}
+
+// list prints the builtin scenarios and registered workloads.
+func list(w *os.File) {
+	fmt.Fprintln(w, "builtin scenarios (run a copy with -scenario <file>; shipped under examples/scenarios/):")
+	for _, s := range scenario.Builtins() {
+		runs, err := s.Expand()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "  %-12s %s (%d runs)\n", s.Name, s.Description, len(runs))
+	}
+	fmt.Fprintf(w, "registered workloads:          %s\n", strings.Join(workload.Names(), ", "))
+	fmt.Fprintf(w, "registered background streams: %s\n", strings.Join(workload.StreamNames(), ", "))
+}
+
+// runScenario expands a spec file and simulates every run in order.
+func runScenario(path string, warmup, measure uint64) {
+	spec, err := scenario.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs, err := spec.Expand()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %s: %s (%d runs)\n", spec.Name, spec.Description, len(runs))
+	for i, r := range runs {
+		fmt.Printf("\n--- run %d/%d", i+1, len(runs))
+		if r.Param != "" {
+			fmt.Printf("  param %s", r.Param)
+		}
+		fmt.Printf("  variant %s ---\n", r.Variant.DisplayName())
+		m, err := machine.New(r.Config)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResults(r.Config, m.Run(warmup, measure))
+	}
 }
 
 func printResults(cfg machine.Config, r machine.Results) {

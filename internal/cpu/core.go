@@ -343,7 +343,7 @@ type XMemCore struct {
 	id     int
 	eng    *sim.Engine
 	env    Env
-	stream *workload.XMem
+	stream workload.Stream
 
 	accesses uint64
 	stopped  bool
@@ -354,7 +354,7 @@ type XMemCore struct {
 const xmemMLP = 4
 
 // NewXMemCore creates an X-Mem tenant core.
-func NewXMemCore(id int, eng *sim.Engine, env Env, stream *workload.XMem) *XMemCore {
+func NewXMemCore(id int, eng *sim.Engine, env Env, stream workload.Stream) *XMemCore {
 	return &XMemCore{id: id, eng: eng, env: env, stream: stream}
 }
 
@@ -372,7 +372,7 @@ func (x *XMemCore) ID() int { return x.id }
 func (x *XMemCore) Accesses() uint64 { return x.accesses }
 
 // Stream returns the underlying access stream.
-func (x *XMemCore) Stream() *workload.XMem { return x.stream }
+func (x *XMemCore) Stream() workload.Stream { return x.stream }
 
 // OnEvent implements sim.Sink.
 func (x *XMemCore) OnEvent(now sim.Cycle, _ uint64) { x.step(now) }
@@ -398,5 +398,5 @@ func (x *XMemCore) step(now uint64) {
 		}
 		x.accesses++
 	}
-	x.eng.Schedule(done+x.stream.Config().ComputeCycles, x, 0)
+	x.eng.Schedule(done+x.stream.ComputeCycles(), x, 0)
 }

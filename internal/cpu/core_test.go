@@ -377,7 +377,8 @@ func TestCoreConfigValidation(t *testing.T) {
 func TestXMemCoreAccessLoop(t *testing.T) {
 	env := &fakeEnv{lat: 10}
 	eng := sim.NewEngine()
-	stream := workload.NewXMem(workload.DefaultXMemConfig(), addr.NewSpace(1, 1024, 1024), 1)
+	stream := workload.NewXMem(workload.DefaultXMemConfig())
+	stream.Layout(addr.NewSpace(1, 1024, 1024), 1)
 	x := NewXMemCore(1, eng, env, stream)
 	if x.ID() != 1 || x.Stream() != stream {
 		t.Fatal("accessors")

@@ -6,6 +6,7 @@ import (
 	"sweeper/internal/core"
 	"sweeper/internal/machine"
 	"sweeper/internal/nic"
+	"sweeper/internal/scenario"
 )
 
 // Variant is one packet-injection baseline (or baseline+Sweeper) as swept
@@ -25,6 +26,15 @@ func (v Variant) Apply(cfg machine.Config) machine.Config {
 	}
 	cfg.Sweeper = core.Config{RXSweep: v.Sweeper, IssueCyclesPerLine: 1}
 	return cfg
+}
+
+// variantOf converts a declarative scenario variant into the harness form.
+func variantOf(v scenario.Variant) Variant {
+	mode, err := v.NICMode()
+	if err != nil {
+		panic(err)
+	}
+	return Variant{Name: v.DisplayName(), Mode: mode, Ways: v.Ways, Sweeper: v.Sweeper}
 }
 
 // DMAVariant, IdealVariant and DDIOVariant build the paper's baselines.
@@ -52,39 +62,26 @@ func ddioPairs(ways ...int) []Variant {
 // KVSConfig returns the paper's KVS machine: 24 cores, item-sized packets,
 // the given RX ring depth, seeded deterministically.
 func KVSConfig(itemBytes uint64, ringSlots int) machine.Config {
-	cfg := machine.DefaultConfig()
-	cfg.Workload = machine.WorkloadKVS
-	cfg.ItemBytes = itemBytes
-	cfg.PacketBytes = itemBytes
-	cfg.RingSlots = ringSlots
-	cfg.TXSlots = 128
-	return cfg
+	return scenario.MustConfig("kvs", map[string]float64{
+		"item_bytes":   float64(itemBytes),
+		"packet_bytes": float64(itemBytes),
+		"ring_slots":   float64(ringSlots),
+	})
 }
 
-// L3FwdConfig returns the §IV-B forwarder machine: 2048-deep RX and TX
-// rings of MTU-sized packets and the 16k-rule table.
+// L3FwdConfig returns the §IV-B forwarder machine: RX and TX rings of the
+// given depth holding MTU-sized packets, and the 16k-rule table.
 func L3FwdConfig(ringSlots int) machine.Config {
-	cfg := machine.DefaultConfig()
-	cfg.Workload = machine.WorkloadL3Fwd
-	cfg.PacketBytes = 1024
-	cfg.ItemBytes = 0
-	cfg.RingSlots = ringSlots
-	// The forwarder copies every packet it receives, so its TX ring
-	// mirrors the RX ring's provisioning.
-	cfg.TXSlots = ringSlots
-	return cfg
+	return scenario.MustConfig("l3fwd", map[string]float64{
+		"ring_slots": float64(ringSlots),
+		// The forwarder copies every packet it receives, so its TX ring
+		// mirrors the RX ring's provisioning.
+		"tx_slots": float64(ringSlots),
+	})
 }
 
 // CollocationConfig returns the §VI-E machine: 12 forwarder cores with an
 // L1-resident table collocated with 12 X-Mem instances.
 func CollocationConfig() machine.Config {
-	cfg := machine.DefaultConfig()
-	cfg.Workload = machine.WorkloadL3FwdL1
-	cfg.NetCores = 12
-	cfg.XMemCores = 12
-	cfg.PacketBytes = 1024
-	cfg.ItemBytes = 0
-	cfg.RingSlots = 2048
-	cfg.TXSlots = 2048
-	return cfg
+	return scenario.MustConfig("collocation", nil)
 }

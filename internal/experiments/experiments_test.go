@@ -8,6 +8,7 @@ import (
 	"sweeper/internal/machine"
 	"sweeper/internal/nic"
 	"sweeper/internal/stats"
+	"sweeper/internal/workload"
 )
 
 // tinyScale keeps experiment-harness tests fast; assertions target
@@ -75,7 +76,7 @@ func TestConfigConstructors(t *testing.T) {
 		t.Fatal(err)
 	}
 	l3 := L3FwdConfig(1024)
-	if l3.Workload != machine.WorkloadL3Fwd || l3.TXSlots != 1024 {
+	if l3.Workload != workload.NameL3Fwd || l3.TXSlots != 1024 {
 		t.Fatal("L3fwd config: TX ring must mirror RX")
 	}
 	if err := l3.Validate(); err != nil {

@@ -2,10 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
-	"sweeper/internal/cache"
 	"sweeper/internal/machine"
+	"sweeper/internal/scenario"
 	"sweeper/internal/stats"
 )
 
@@ -47,6 +48,25 @@ func cells(jobs []job) []Cell {
 	return out
 }
 
+// jobsFromSpec expands a shipped scenario into the harness's job list: axes
+// outermost, variants innermost, parameter labels joined with "/".
+func jobsFromSpec(name string) []job {
+	runs, err := scenario.MustSpec(name).Expand()
+	if err != nil {
+		panic(err)
+	}
+	jobs := make([]job, len(runs))
+	for i, r := range runs {
+		jobs[i] = job{
+			param:           r.Param,
+			variant:         variantOf(r.Variant),
+			cfg:             r.Config,
+			closedLoopDepth: r.ClosedLoopDepth,
+		}
+	}
+	return jobs
+}
+
 func panels(id, title string, cs []Cell) []Table {
 	return []Table{
 		{ID: id + "a", Title: title + ": peak throughput", Metric: "mrps", Cells: cs},
@@ -58,21 +78,7 @@ func panels(id, title string, cs []Cell) []Table {
 // Fig1 reproduces Figure 1: the KVS under DMA, 2/4/6-way DDIO and
 // Ideal-DDIO across 512/1024/2048 RX buffers per core (1KB items).
 func Fig1(sc Scale) []Table {
-	variants := []Variant{
-		DMAVariant(),
-		DDIOVariant(2, false), DDIOVariant(4, false), DDIOVariant(6, false),
-		IdealVariant(),
-	}
-	var jobs []job
-	for _, bufs := range []int{512, 1024, 2048} {
-		for _, v := range variants {
-			jobs = append(jobs, job{
-				param:   fmt.Sprintf("%d buf", bufs),
-				variant: v,
-				cfg:     KVSConfig(1024, bufs),
-			})
-		}
-	}
+	jobs := jobsFromSpec("fig1")
 	runJobs(jobs, sc)
 	return panels("fig1", "KVS network data leaks", cells(jobs))
 }
@@ -80,21 +86,7 @@ func Fig1(sc Scale) []Table {
 // Fig2 reproduces Figure 2: the L3 forwarder with D packets kept queued per
 // core (premature-eviction study), 2048-deep rings.
 func Fig2(sc Scale) []Table {
-	variants := []Variant{
-		DDIOVariant(2, false), DDIOVariant(6, false), DDIOVariant(12, false),
-		IdealVariant(),
-	}
-	var jobs []job
-	for _, d := range []int{50, 250, 450} {
-		for _, v := range variants {
-			jobs = append(jobs, job{
-				param:           fmt.Sprintf("D=%d", d),
-				variant:         v,
-				cfg:             L3FwdConfig(2048),
-				closedLoopDepth: d,
-			})
-		}
-	}
+	jobs := jobsFromSpec("fig2")
 	runJobs(jobs, sc)
 	return panels("fig2", "L3fwd with queued packets", cells(jobs))
 }
@@ -102,19 +94,7 @@ func Fig2(sc Scale) []Table {
 // Fig5 reproduces Figure 5: DDIO way sensitivity with and without Sweeper,
 // for 512B and 1KB items across 512/1024/2048 RX buffers per core.
 func Fig5(sc Scale) []Table {
-	variants := append(ddioPairs(2, 6, 12), IdealVariant())
-	var jobs []job
-	for _, item := range []uint64{512, 1024} {
-		for _, bufs := range []int{512, 1024, 2048} {
-			for _, v := range variants {
-				jobs = append(jobs, job{
-					param:   fmt.Sprintf("%dB/%d buf", item, bufs),
-					variant: v,
-					cfg:     KVSConfig(item, bufs),
-				})
-			}
-		}
-	}
+	jobs := jobsFromSpec("fig5")
 	runJobs(jobs, sc)
 	return panels("fig5", "Sweeper vs DDIO configuration", cells(jobs))
 }
@@ -187,21 +167,28 @@ func Fig6(sc Scale) Fig6Result {
 	return out
 }
 
+// WriteCDFCSV emits Figure 6's DRAM-latency CDF curves in long form
+// (config,context,at_mrps,latency_cycles,cdf), the format committed under
+// results/fig6_cdf.csv.
+func WriteCDFCSV(w io.Writer, r Fig6Result) error {
+	if _, err := fmt.Fprintln(w, "config,context,at_mrps,latency_cycles,cdf"); err != nil {
+		return err
+	}
+	for _, c := range r.Curves {
+		for _, p := range c.CDF {
+			if _, err := fmt.Fprintf(w, "%s,%s,%.3f,%d,%.6f\n",
+				c.Config, c.Context, c.AtMrps, p.Value, p.Fraction); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Fig7 reproduces Figure 7: Sweeper under premature buffer evictions (the
 // deep-queue L3fwd scenarios revisited with Sweeper).
 func Fig7(sc Scale) []Table {
-	variants := append(ddioPairs(2, 6, 12), IdealVariant())
-	var jobs []job
-	for _, d := range []int{250, 450} {
-		for _, v := range variants {
-			jobs = append(jobs, job{
-				param:           fmt.Sprintf("D=%d", d),
-				variant:         v,
-				cfg:             L3FwdConfig(2048),
-				closedLoopDepth: d,
-			})
-		}
-	}
+	jobs := jobsFromSpec("fig7")
 	runJobs(jobs, sc)
 	cs := cells(jobs)
 	return []Table{
@@ -213,26 +200,7 @@ func Fig7(sc Scale) []Table {
 // Fig8 reproduces Figure 8: sensitivity to memory bandwidth (3/4/8
 // channels) for three KVS footprints.
 func Fig8(sc Scale) []Table {
-	variants := append(ddioPairs(2, 6, 12), IdealVariant())
-	scenarios := []struct {
-		item uint64
-		bufs int
-	}{{512, 512}, {1024, 512}, {1024, 2048}}
-	var jobs []job
-	for _, sce := range scenarios {
-		for _, ch := range []int{3, 4, 8} {
-			for _, v := range variants {
-				cfg := KVSConfig(sce.item, sce.bufs)
-				cfg.Mem.Channels = ch
-				jobs = append(jobs, job{
-					param: fmt.Sprintf("%dB/%d buf/%dch",
-						sce.item, sce.bufs, ch),
-					variant: v,
-					cfg:     cfg,
-				})
-			}
-		}
-	}
+	jobs := jobsFromSpec("fig8")
 	runJobs(jobs, sc)
 	cs := cells(jobs)
 	return []Table{
@@ -250,13 +218,11 @@ const fig9Depth = 32
 // for X-Mem), (b) X-Mem free to use the whole LLC while DDIO ways grow.
 func Fig9(sc Scale) []Table {
 	var jobs []job
-	// (a) disjoint partitions.
+	// (a) disjoint partitions, via the scenario partition_split knob.
 	for _, a := range []int{2, 4, 6, 8, 10} {
 		for _, sw := range []bool{false, true} {
-			cfg := CollocationConfig()
-			cfg.NICWayMask = cache.MaskAll(a)
-			cfg.NetCPUWayMask = cache.MaskAll(a)
-			cfg.XMemWayMask = cache.MaskRange(a, 12)
+			cfg := scenario.MustConfig("collocation",
+				map[string]float64{"partition_split": float64(a)})
 			jobs = append(jobs, job{
 				param:           fmt.Sprintf("(%d,%d)", a, 12-a),
 				variant:         DDIOVariant(a, sw),

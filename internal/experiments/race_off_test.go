@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; heavy
+// regeneration tests skip under it.
+const raceEnabled = false

@@ -192,7 +192,6 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	for k := stats.AccessKind(0); k < stats.NumKinds; k++ {
 		name := strings.ToLower(k.String())
 		name = strings.ReplaceAll(name, " ", "_")
-		name = strings.ReplaceAll(name, "/", "_")
 		cols = append(cols, "acc_"+name)
 	}
 	cols = append(cols, extras...)

@@ -13,39 +13,15 @@ import (
 	"sweeper/internal/core"
 	"sweeper/internal/mem"
 	"sweeper/internal/nic"
+	"sweeper/internal/workload"
 )
-
-// WorkloadKind selects the networked application.
-type WorkloadKind uint8
-
-const (
-	// WorkloadKVS is the MICA-like key-value store (§IV-A).
-	WorkloadKVS WorkloadKind = iota
-	// WorkloadL3Fwd is the 16k-rule L3 forwarder (§IV-B).
-	WorkloadL3Fwd
-	// WorkloadL3FwdL1 is the L1-resident-table forwarder (§VI-E).
-	WorkloadL3FwdL1
-)
-
-// String names the workload.
-func (w WorkloadKind) String() string {
-	switch w {
-	case WorkloadKVS:
-		return "kvs"
-	case WorkloadL3Fwd:
-		return "l3fwd"
-	case WorkloadL3FwdL1:
-		return "l3fwd-l1"
-	default:
-		return fmt.Sprintf("workload(%d)", uint8(w))
-	}
-}
 
 // Config fully describes one simulated configuration. DefaultConfig returns
 // the paper's Table I server; experiments override the swept knobs.
 type Config struct {
 	// NetCores run the networked workload; XMemCores run collocated
-	// X-Mem instances (§VI-E). Table I's server has 24 cores total.
+	// background-tenant streams (§VI-E). Table I's server has 24 cores
+	// total.
 	NetCores  int
 	XMemCores int
 
@@ -72,14 +48,21 @@ type Config struct {
 	// RingSlots is RX descriptors per core ("receive buffers per core");
 	// PacketBytes the MTU/slot size; TXSlots the per-core transmit ring
 	// depth (responses recycle quickly, so a modest window suffices).
+	// Both ring depths must be powers of two (the rings mask, not mod).
 	RingSlots   int
 	PacketBytes uint64
 	TXSlots     int
 
-	// Workload selects the application; ItemBytes sizes KVS items (the
-	// paper pairs packet size with item size).
-	Workload  WorkloadKind
+	// Workload names the networked application in the workload registry
+	// (workload.NameKVS, workload.NameL3Fwd, ... or any registered
+	// driver); ItemBytes sizes KVS items (the paper pairs packet size
+	// with item size).
+	Workload  string
 	ItemBytes uint64
+
+	// XMemWorkload names the background-tenant stream run on XMemCores;
+	// empty selects the default X-Mem instance (workload.NameXMem).
+	XMemWorkload string
 
 	// Sweeper configures the paper's mechanism; SweepTX additionally
 	// sets the Work Queue SweepBuffer bit on every transmission.
@@ -122,8 +105,7 @@ type Config struct {
 	// WarmLLC pre-fills the LLC with dirty application data (KVS log
 	// lines) so short measurement windows see steady-state eviction
 	// behaviour instead of a cold 36MB cache slowly filling. Only
-	// meaningful for the KVS, whose write stream takes millions of
-	// cycles to churn the LLC naturally.
+	// workloads that opt in (workload.LLCWarmer) are affected.
 	WarmLLC bool
 
 	// Seed makes runs reproducible.
@@ -144,7 +126,7 @@ func DefaultConfig() Config {
 		RingSlots:   1024,
 		PacketBytes: 1024,
 		TXSlots:     128,
-		Workload:    WorkloadKVS,
+		Workload:    workload.NameKVS,
 		ItemBytes:   1024,
 		Sweeper:     core.Config{RXSweep: false, IssueCyclesPerLine: 1},
 		OfferedMrps: 10,
@@ -166,31 +148,50 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("machine: FreqHz must be positive, got %g", c.FreqHz)
 	case c.RingSlots <= 0:
 		return fmt.Errorf("machine: RingSlots must be positive, got %d", c.RingSlots)
+	case c.RingSlots&(c.RingSlots-1) != 0:
+		return fmt.Errorf("machine: RingSlots must be a power of two, got %d", c.RingSlots)
 	case c.PacketBytes == 0:
 		return fmt.Errorf("machine: PacketBytes must be positive")
 	case c.TXSlots <= 0:
 		return fmt.Errorf("machine: TXSlots must be positive, got %d", c.TXSlots)
+	case c.TXSlots&(c.TXSlots-1) != 0:
+		return fmt.Errorf("machine: TXSlots must be a power of two, got %d", c.TXSlots)
 	case c.NICMode == nic.ModeDDIO && (c.DDIOWays <= 0 || c.DDIOWays > c.Cache.LLCWays) && c.NICWayMask == 0:
 		return fmt.Errorf("machine: DDIOWays %d out of range [1,%d]", c.DDIOWays, c.Cache.LLCWays)
 	case c.OfferedMrps <= 0 && c.ClosedLoopDepth <= 0:
 		return fmt.Errorf("machine: need OfferedMrps > 0 or ClosedLoopDepth > 0")
 	case c.ClosedLoopDepth > c.RingSlots:
 		return fmt.Errorf("machine: ClosedLoopDepth %d exceeds RingSlots %d", c.ClosedLoopDepth, c.RingSlots)
-	case c.Workload == WorkloadKVS && c.ItemBytes == 0:
-		return fmt.Errorf("machine: KVS requires ItemBytes")
 	case c.SpikeProb < 0 || c.SpikeProb > 1:
 		return fmt.Errorf("machine: SpikeProb %g outside [0,1]", c.SpikeProb)
+	}
+	if err := workload.ValidateParams(c.Workload, c.params()); err != nil {
+		return fmt.Errorf("machine: workload %q: %w", c.Workload, err)
+	}
+	if c.XMemCores > 0 {
+		if _, ok := workload.LookupStream(c.xmemName()); !ok {
+			return fmt.Errorf("machine: unknown background stream %q (registered: %v)",
+				c.xmemName(), workload.StreamNames())
+		}
 	}
 	return nil
 }
 
-// respSlotBytes returns the TX slot size: the largest response the workload
-// produces.
-func (c *Config) respSlotBytes() uint64 {
-	switch c.Workload {
-	case WorkloadKVS:
-		return c.ItemBytes
-	default:
-		return c.PacketBytes
+// params extracts the workload-facing parameterization of the config.
+func (c *Config) params() workload.Params {
+	return workload.Params{PacketBytes: c.PacketBytes, ItemBytes: c.ItemBytes}
+}
+
+// xmemName resolves the background-stream registry name.
+func (c *Config) xmemName() string {
+	if c.XMemWorkload != "" {
+		return c.XMemWorkload
 	}
+	return workload.NameXMem
+}
+
+// respSlotBytes returns the TX slot size: the largest response the workload
+// produces, as declared by its registration.
+func (c *Config) respSlotBytes() uint64 {
+	return workload.TXSlotBytes(c.Workload, c.params())
 }

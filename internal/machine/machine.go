@@ -15,20 +15,25 @@ import (
 	"sweeper/internal/workload"
 )
 
-// Machine is one fully assembled simulated server. A Machine runs exactly
-// once: build a fresh one per configuration probe so caches start cold and
-// warmup is well defined.
+// Machine is one fully assembled simulated server: a thin composition root
+// over the event engine, the memory datapath, the NIC, the Sweeper, the
+// workload driver and the cores. A Machine runs exactly once: build a fresh
+// one (or Reset a pooled one) per configuration probe so caches start cold
+// and warmup is well defined.
 type Machine struct {
 	cfg   Config
 	eng   *sim.Engine
-	space *addr.Space
-	hier  *cache.Hierarchy
-	dram  *mem.DDR4
+	dp    *datapath
 	nicD  *nic.NIC
 	sweep *core.Sweeper
 
-	kvs   *workload.KVS
-	l3fwd *workload.L3Fwd
+	// drv is the networked application, built through the workload
+	// registry; drvName/drvParams record what it was built from so Reset
+	// can reuse it when the parameterization is unchanged.
+	drv       workload.Driver
+	drvName   string
+	drvParams workload.Params
+	xmemName  string
 
 	cores []*cpu.Core
 	xmem  []*cpu.XMemCore
@@ -38,22 +43,14 @@ type Machine struct {
 
 	rng *rand.Rand
 
-	// Cumulative accounting (window deltas are taken at beginWindow).
-	breakdown stats.Breakdown
-	dramLat   *stats.Histogram
-	reqLat    *stats.Histogram
-	served    uint64
-	svcSum    uint64
-	svcCount  uint64
+	// Request-side accounting (window deltas are taken at snap).
+	reqLat   *stats.Histogram
+	served   uint64
+	svcSum   uint64
+	svcCount uint64
 
 	measuring bool
 	ran       bool
-	trace     TraceSink
-
-	// IAT-style dynamic DDIO state.
-	dynWays        int
-	dynAdjustments uint64
-	dynLast        [stats.NumKinds]uint64
 }
 
 // New assembles a machine from cfg.
@@ -65,25 +62,23 @@ func New(cfg Config) (*Machine, error) {
 	cfg.Cache.NCores = total
 
 	m := &Machine{
-		cfg:     cfg,
-		eng:     sim.NewEngine(),
-		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
-		dramLat: stats.NewHistogram(4, 8192),
-		reqLat:  stats.NewHistogram(64, 8192),
+		cfg:    cfg,
+		eng:    sim.NewEngine(),
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		reqLat: stats.NewHistogram(64, 8192),
 	}
 
 	rxBytes := uint64(cfg.RingSlots) * cfg.PacketBytes
 	txBytes := uint64(cfg.TXSlots) * cfg.respSlotBytes()
-	m.space = addr.NewSpace(total, rxBytes, txBytes)
+	space := addr.NewSpace(total, rxBytes, txBytes)
 
-	m.dram = mem.New(cfg.Mem)
-	m.hier = cache.NewHierarchy(cfg.Cache, (*memSink)(m))
-	m.sweep = core.New(m.hier, cfg.Sweeper)
+	m.dp = newDatapath(m.eng, space, cfg.Mem, cfg.Cache)
+	m.sweep = core.New(m.dp.hier, cfg.Sweeper)
 	m.nicD = nic.New(nic.Config{
 		Mode:      cfg.NICMode,
 		RingSlots: cfg.RingSlots,
 		SlotBytes: cfg.PacketBytes,
-	}, m.space, m.hier)
+	}, space, m.dp.hier)
 
 	if err := m.configure(cfg); err != nil {
 		return nil, err
@@ -92,29 +87,12 @@ func New(cfg Config) (*Machine, error) {
 }
 
 // configure performs every configuration-dependent assembly step over
-// already-allocated (or freshly Reset) subsystems: way masks, NIC policy and
+// already-allocated (or freshly Reset) subsystems: datapath way policy, NIC
 // hooks, workload layout (in address-space allocation order), cores, tenant
 // streams and the traffic generator. New and Reset share it verbatim, which
 // is what guarantees a pooled machine is configured exactly like a fresh one.
 func (m *Machine) configure(cfg Config) error {
-	switch cfg.NICMode {
-	case nic.ModeDDIO:
-		if cfg.NICWayMask != 0 {
-			m.hier.SetNICWayMask(cfg.NICWayMask)
-		} else {
-			m.hier.SetNICWays(cfg.DDIOWays)
-		}
-	}
-	if cfg.XMemWayMask != 0 {
-		for i := 0; i < cfg.XMemCores; i++ {
-			m.hier.SetCPUWayMask(cfg.NetCores+i, cfg.XMemWayMask)
-		}
-	}
-	if cfg.NetCPUWayMask != 0 {
-		for i := 0; i < cfg.NetCores; i++ {
-			m.hier.SetCPUWayMask(i, cfg.NetCPUWayMask)
-		}
-	}
+	m.dp.configure(cfg)
 
 	if cfg.NeBuLaDropDepth > 0 {
 		m.nicD.SetDropDepth(cfg.NeBuLaDropDepth)
@@ -129,31 +107,22 @@ func (m *Machine) configure(cfg Config) error {
 		}
 	})
 
-	switch cfg.Workload {
-	case WorkloadKVS:
-		m.l3fwd = nil
-		kcfg := workload.DefaultKVSConfig(cfg.ItemBytes)
-		if m.kvs != nil && m.kvs.Config() == kcfg {
-			m.kvs.Reset(m.space)
-		} else {
-			m.kvs = workload.NewKVS(kcfg, m.space)
+	// Build the workload driver through the registry, reusing the live one
+	// exactly when its name and parameterization are unchanged (its layout
+	// against the freshly Reset space reproduces a fresh driver's state).
+	p := cfg.params()
+	if m.drv == nil || m.drvName != cfg.Workload || m.drvParams != p {
+		drv, err := workload.NewDriver(cfg.Workload, p)
+		if err != nil {
+			return err
 		}
-		if cfg.WarmLLC {
-			m.warmLLC()
+		m.drv, m.drvName, m.drvParams = drv, cfg.Workload, p
+	}
+	m.drv.Layout(m.dp.space)
+	if cfg.WarmLLC {
+		if w, ok := m.drv.(workload.LLCWarmer); ok && w.WarmLLC() {
+			m.dp.warmLLC(cfg)
 		}
-	case WorkloadL3Fwd, WorkloadL3FwdL1:
-		m.kvs = nil
-		fcfg := workload.DefaultL3FwdConfig()
-		if cfg.Workload == WorkloadL3FwdL1 {
-			fcfg = workload.L1ResidentL3FwdConfig()
-		}
-		if m.l3fwd != nil && m.l3fwd.Config() == fcfg {
-			m.l3fwd.Reset(m.space)
-		} else {
-			m.l3fwd = workload.NewL3Fwd(fcfg, m.space)
-		}
-	default:
-		return fmt.Errorf("machine: unknown workload %v", cfg.Workload)
 	}
 
 	if len(m.cores) != cfg.NetCores {
@@ -164,7 +133,7 @@ func (m *Machine) configure(cfg Config) error {
 			PollCycles:  cfg.PollCycles,
 			TXSlots:     cfg.TXSlots,
 			TXSlotBytes: cfg.respSlotBytes(),
-			TXBase:      m.space.TXBase(i),
+			TXBase:      m.dp.space.TXBase(i),
 			SweepTX:     cfg.SweepTX,
 			MLP:         cfg.MLPWidth,
 		}
@@ -177,17 +146,23 @@ func (m *Machine) configure(cfg Config) error {
 	if len(m.xmem) != cfg.XMemCores {
 		m.xmem = make([]*cpu.XMemCore, cfg.XMemCores)
 	}
+	xname := cfg.xmemName()
 	for i := range m.xmem {
 		id := cfg.NetCores + i
 		seed := uint64(cfg.Seed) + uint64(id)*977
-		if m.xmem[i] != nil {
-			m.xmem[i].Stream().Reset(m.space, seed)
+		if m.xmem[i] != nil && m.xmemName == xname {
+			m.xmem[i].Stream().Layout(m.dp.space, seed)
 			m.xmem[i].Reset()
 		} else {
-			stream := workload.NewXMem(workload.DefaultXMemConfig(), m.space, seed)
+			stream, err := workload.NewStream(xname, p)
+			if err != nil {
+				return err
+			}
+			stream.Layout(m.dp.space, seed)
 			m.xmem[i] = cpu.NewXMemCore(id, m.eng, m, stream)
 		}
 	}
+	m.xmemName = xname
 
 	if cfg.ClosedLoopDepth > 0 {
 		m.pgen = nil
@@ -197,8 +172,8 @@ func (m *Machine) configure(cfg Config) error {
 			m.cgen = nic.NewClosedLoopGen(m.nicD, cfg.PacketBytes, cfg.ClosedLoopDepth, cfg.Seed)
 		}
 		m.cgen.SetTargetCores(cfg.NetCores)
-		if m.kvs != nil {
-			m.cgen.SetSizer(m.kvs.RequestBytes)
+		if s, ok := m.drv.(workload.RequestSizer); ok {
+			m.cgen.SetSizer(s.RequestBytes)
 		}
 	} else {
 		m.cgen = nil
@@ -209,8 +184,8 @@ func (m *Machine) configure(cfg Config) error {
 			m.pgen = nic.NewPoissonGen(m.eng, m.nicD, cfg.PacketBytes, gap, cfg.Seed)
 		}
 		m.pgen.SetTargetCores(cfg.NetCores)
-		if m.kvs != nil {
-			m.pgen.SetSizer(m.kvs.RequestBytes)
+		if s, ok := m.drv.(workload.RequestSizer); ok {
+			m.pgen.SetSizer(s.RequestBytes)
 		}
 	}
 	return nil
@@ -263,20 +238,13 @@ func (m *Machine) Reset(cfg Config) error {
 	m.cfg = cfg
 	m.eng.Reset()
 	m.rng.Seed(cfg.Seed ^ 0x5eed)
-	m.dramLat.Reset()
 	m.reqLat.Reset()
-	m.space.Reset()
-	m.dram.Reset()
-	m.hier.Reset()
+	m.dp.reset()
 	m.sweep.Reset(cfg.Sweeper)
 	m.nicD.Reset(cfg.NICMode)
 
-	m.breakdown.Reset()
 	m.served, m.svcSum, m.svcCount = 0, 0, 0
 	m.measuring, m.ran = false, false
-	m.trace = nil
-	m.dynWays, m.dynAdjustments = 0, 0
-	m.dynLast = [stats.NumKinds]uint64{}
 
 	return m.configure(cfg)
 }
@@ -300,10 +268,10 @@ func (m *Machine) Config() Config { return m.cfg }
 func (m *Machine) Engine() *sim.Engine { return m.eng }
 
 // Hierarchy returns the cache hierarchy.
-func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.dp.hier }
 
 // DRAM returns the memory model.
-func (m *Machine) DRAM() *mem.DDR4 { return m.dram }
+func (m *Machine) DRAM() *mem.DDR4 { return m.dp.dram }
 
 // NIC returns the network interface.
 func (m *Machine) NIC() *nic.NIC { return m.nicD }
@@ -312,139 +280,11 @@ func (m *Machine) NIC() *nic.NIC { return m.nicD }
 func (m *Machine) Sweeper() *core.Sweeper { return m.sweep }
 
 // Space returns the address map.
-func (m *Machine) Space() *addr.Space { return m.space }
+func (m *Machine) Space() *addr.Space { return m.dp.space }
 
-// KVS returns the key-value store, or nil for other workloads.
-func (m *Machine) KVS() *workload.KVS { return m.kvs }
-
-// L3Fwd returns the forwarder, or nil for other workloads.
-func (m *Machine) L3Fwd() *workload.L3Fwd { return m.l3fwd }
-
-// warmLLC fills the LLC and every private L2 with application data lines
-// resembling the steady-state content of a long-running store, so
-// measurement windows observe realistic dirty-eviction traffic from the
-// first cycle instead of a cold 36MB cache slowly absorbing the write
-// stream. The fill uses a dedicated "legacy" region rather than live log
-// addresses: warm lines must drain exactly once, never re-entering the
-// hierarchy through later reads.
-func (m *Machine) warmLLC() {
-	llcLines := uint64(m.hier.LLC().Sets() * m.hier.LLC().Ways())
-	l2 := m.hier.L2(0)
-	l2LinesTotal := uint64(l2.Sets()*l2.Ways()) * uint64(m.cfg.NetCores+m.cfg.XMemCores)
-	base := m.space.AllocApp((llcLines + 2*l2LinesTotal) * addr.LineBytes)
-	// The warm mix mirrors each mode's steady state, so the warm
-	// content's drain is statistically indistinguishable from steady
-	// operation:
-	//
-	//   - The LLC's application content is mostly dirty (appended log
-	//     lines awaiting writeback); under DMA, clean RX read copies
-	//     also stream through it, diluting the dirty fraction.
-	//   - Each L2 holds recent dirty appends (addresses disjoint from
-	//     the LLC fill, so their eviction displaces LLC lines and
-	//     sustains the writeback stream). Under DDIO it also holds clean
-	//     read copies of LLC-resident lines, whose eviction merges in
-	//     place exactly like recycled RX-read copies do; under DMA the
-	//     clean copies displace (DMA invalidates LLC copies on reuse);
-	//     under Ideal-DDIO network buffers never enter the L2 at all.
-	var llcDirty10, l2CleanFrac2 int // dirty tenths; clean halves
-	aliasClean := false
-	switch m.cfg.NICMode {
-	case nic.ModeIdeal:
-		llcDirty10, l2CleanFrac2 = 9, 0
-	case nic.ModeDMA:
-		llcDirty10, l2CleanFrac2 = 5, 1
-	default: // DDIO
-		llcDirty10, l2CleanFrac2 = 9, 1
-		aliasClean = true
-	}
-
-	llc := m.hier.LLC()
-	mask := cache.MaskAll(llc.Ways())
-	nLines := uint64(llc.Sets() * llc.Ways())
-	for k := uint64(0); k < nLines; k++ {
-		llc.Insert(base+k*addr.LineBytes, int(k%10) < llcDirty10, mask)
-	}
-	total := m.cfg.NetCores + m.cfg.XMemCores
-	l2Base := base + nLines*addr.LineBytes
-	cleanBase := l2Base // DMA: disjoint clean lines, displacing on eviction
-	if aliasClean {
-		cleanBase = base // DDIO: clean copies of LLC lines, merging
-	}
-	for c := 0; c < total; c++ {
-		l2 := m.hier.L2(c)
-		l2Mask := cache.MaskAll(l2.Ways())
-		l2Lines := uint64(l2.Sets() * l2.Ways())
-		dirtyOff := l2Base + uint64(c)*2*l2Lines*addr.LineBytes
-		cleanOff := cleanBase + (uint64(c)*2+1)*l2Lines*addr.LineBytes
-		if aliasClean {
-			cleanOff = cleanBase + uint64(c)*l2Lines/2*addr.LineBytes
-		}
-		for k := uint64(0); k < l2Lines; k++ {
-			if l2CleanFrac2 == 1 && k%2 == 1 {
-				l2.Insert(cleanOff+k/2*addr.LineBytes, false, l2Mask)
-			} else {
-				l2.Insert(dirtyOff+k*addr.LineBytes, true, l2Mask)
-			}
-		}
-	}
-}
-
-// memSink adapts the machine to cache.MemSink, classifying every DRAM
-// transaction into the paper's breakdown categories.
-type memSink Machine
-
-func (s *memSink) DemandRead(now uint64, a uint64, src cache.Requestor) uint64 {
-	m := (*Machine)(s)
-	done := m.dram.Read(now, a)
-	var kind stats.AccessKind
-	if src == cache.SrcNIC {
-		kind = stats.NICTXRd
-	} else {
-		switch cls, _ := m.space.Classify(a); cls {
-		case addr.ClassRX:
-			kind = stats.CPURXRd
-		case addr.ClassTX:
-			kind = stats.CPUTXRdWr
-		default:
-			kind = stats.CPUOtherRd
-		}
-	}
-	m.breakdown.Add(kind, 1)
-	if m.measuring {
-		m.dramLat.Record(done - now)
-		if m.trace != nil {
-			m.trace(TraceEvent{Cycle: now, Addr: a, Kind: kind, LatencyCycles: done - now})
-		}
-	}
-	return done
-}
-
-func (s *memSink) WritebackEvict(now uint64, a uint64) {
-	m := (*Machine)(s)
-	m.dram.Write(now, a)
-	var kind stats.AccessKind
-	switch cls, _ := m.space.Classify(a); cls {
-	case addr.ClassRX:
-		kind = stats.RXEvct
-	case addr.ClassTX:
-		kind = stats.TXEvct
-	default:
-		kind = stats.OtherEvct
-	}
-	m.breakdown.Add(kind, 1)
-	if m.measuring && m.trace != nil {
-		m.trace(TraceEvent{Cycle: now, Addr: a, Kind: kind})
-	}
-}
-
-func (s *memSink) DMAWrite(now uint64, a uint64) {
-	m := (*Machine)(s)
-	m.dram.Write(now, a)
-	m.breakdown.Add(stats.NICRXWr, 1)
-	if m.measuring && m.trace != nil {
-		m.trace(TraceEvent{Cycle: now, Addr: a, Kind: stats.NICRXWr})
-	}
-}
+// Workload returns the networked application driver. Callers needing a
+// concrete type (tests, workload-specific reports) type-assert the result.
+func (m *Machine) Workload() workload.Driver { return m.drv }
 
 // Env implementation (cpu.Env).
 
@@ -462,11 +302,7 @@ func (m *Machine) OnPop(now uint64, c int) {
 
 // PlanRequest implements cpu.Env.
 func (m *Machine) PlanRequest(tag uint64, pktBytes uint64, plan *workload.Plan) {
-	if m.kvs != nil {
-		m.kvs.PlanRequest(tag, pktBytes, plan)
-		return
-	}
-	m.l3fwd.PlanRequest(tag, pktBytes, plan)
+	m.drv.PlanRequest(tag, pktBytes, plan)
 }
 
 // RXRead implements cpu.Env. Under Ideal-DDIO network buffers live in the
@@ -479,22 +315,22 @@ func (m *Machine) RXRead(now uint64, c int, a uint64) uint64 {
 	if m.cfg.Sweeper.DebugUseAfterRelinquish {
 		m.sweep.CheckRead(a)
 	}
-	return m.hier.CPURead(now, c, a)
+	return m.dp.hier.CPURead(now, c, a)
 }
 
 // AppRead implements cpu.Env.
 func (m *Machine) AppRead(now uint64, c int, a uint64) uint64 {
-	return m.hier.CPURead(now, c, a)
+	return m.dp.hier.CPURead(now, c, a)
 }
 
 // AppWrite implements cpu.Env.
 func (m *Machine) AppWrite(now uint64, c int, a uint64) uint64 {
-	return m.hier.CPUWrite(now, c, a)
+	return m.dp.hier.CPUWrite(now, c, a)
 }
 
 // AppWriteFull implements cpu.Env.
 func (m *Machine) AppWriteFull(now uint64, c int, a uint64) uint64 {
-	return m.hier.CPUWriteFull(now, c, a)
+	return m.dp.hier.CPUWriteFull(now, c, a)
 }
 
 // TXWrite implements cpu.Env: Ideal-DDIO keeps TX buffers in the side cache
@@ -505,7 +341,7 @@ func (m *Machine) TXWrite(now uint64, c int, a uint64) uint64 {
 	if m.cfg.NICMode == nic.ModeIdeal {
 		return now + m.cfg.Cache.L1Lat
 	}
-	return m.hier.CPUWriteFull(now, c, a)
+	return m.dp.hier.CPUWriteFull(now, c, a)
 }
 
 // Relinquish implements cpu.Env. Under Ideal-DDIO there is nothing to
@@ -525,19 +361,21 @@ func (m *Machine) Transmit(now uint64, wqe nic.WorkQueueEntry) {
 	m.nicD.Transmit(now, wqe)
 }
 
-// ExtraServiceCycles implements cpu.Env: the §VI-F spike injector.
+// ExtraServiceCycles implements cpu.Env: any workload-imposed delay plus the
+// §VI-F spike injector.
 func (m *Machine) ExtraServiceCycles(c int, tag uint64) uint64 {
+	extra := m.drv.ExtraServiceCycles(tag)
 	if m.cfg.SpikeProb <= 0 {
-		return 0
+		return extra
 	}
 	if m.rng.Float64() >= m.cfg.SpikeProb {
-		return 0
+		return extra
 	}
 	span := m.cfg.SpikeMaxCycles - m.cfg.SpikeMinCycles
 	if span == 0 {
-		return m.cfg.SpikeMinCycles
+		return extra + m.cfg.SpikeMinCycles
 	}
-	return m.cfg.SpikeMinCycles + uint64(m.rng.Int63n(int64(span)))
+	return extra + m.cfg.SpikeMinCycles + uint64(m.rng.Int63n(int64(span)))
 }
 
 // OnRequestDone implements cpu.Env.

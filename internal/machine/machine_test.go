@@ -7,6 +7,7 @@ import (
 	"sweeper/internal/core"
 	"sweeper/internal/nic"
 	"sweeper/internal/stats"
+	"sweeper/internal/workload"
 )
 
 // quickCfg returns a fast-to-simulate KVS machine configuration.
@@ -29,18 +30,22 @@ func quickRun(t *testing.T, cfg Config) Results {
 
 func TestConfigValidation(t *testing.T) {
 	cases := map[string]func(*Config){
-		"no cores":        func(c *Config) { c.NetCores = 0 },
-		"neg xmem":        func(c *Config) { c.XMemCores = -1 },
-		"no freq":         func(c *Config) { c.FreqHz = 0 },
-		"no ring":         func(c *Config) { c.RingSlots = 0 },
-		"no packet":       func(c *Config) { c.PacketBytes = 0 },
-		"no tx":           func(c *Config) { c.TXSlots = 0 },
-		"bad ways":        func(c *Config) { c.DDIOWays = 0 },
-		"ways high":       func(c *Config) { c.DDIOWays = 13 },
-		"no load":         func(c *Config) { c.OfferedMrps = 0 },
-		"depth too deep":  func(c *Config) { c.ClosedLoopDepth = c.RingSlots + 1 },
-		"kvs needs items": func(c *Config) { c.ItemBytes = 0 },
-		"bad spike prob":  func(c *Config) { c.SpikeProb = 1.5 },
+		"no cores":         func(c *Config) { c.NetCores = 0 },
+		"neg xmem":         func(c *Config) { c.XMemCores = -1 },
+		"no freq":          func(c *Config) { c.FreqHz = 0 },
+		"no ring":          func(c *Config) { c.RingSlots = 0 },
+		"no packet":        func(c *Config) { c.PacketBytes = 0 },
+		"no tx":            func(c *Config) { c.TXSlots = 0 },
+		"bad ways":         func(c *Config) { c.DDIOWays = 0 },
+		"ways high":        func(c *Config) { c.DDIOWays = 13 },
+		"no load":          func(c *Config) { c.OfferedMrps = 0 },
+		"depth too deep":   func(c *Config) { c.ClosedLoopDepth = c.RingSlots + 1 },
+		"kvs needs items":  func(c *Config) { c.ItemBytes = 0 },
+		"bad spike prob":   func(c *Config) { c.SpikeProb = 1.5 },
+		"ring not pow2":    func(c *Config) { c.RingSlots = 1000 },
+		"tx not pow2":      func(c *Config) { c.TXSlots = 100 },
+		"unknown workload": func(c *Config) { c.Workload = "no-such-app" },
+		"unknown stream":   func(c *Config) { c.XMemCores = 2; c.XMemWorkload = "no-such-stream" },
 	}
 	for name, mutate := range cases {
 		cfg := DefaultConfig()
@@ -86,8 +91,8 @@ func TestMachineAccessors(t *testing.T) {
 		m.Sweeper() == nil || m.Space() == nil || m.Engine() == nil {
 		t.Fatal("nil subsystem")
 	}
-	if m.KVS() == nil || m.L3Fwd() != nil {
-		t.Fatal("workload wiring")
+	if _, ok := m.Workload().(*workload.KVS); !ok {
+		t.Fatalf("workload wiring: %T", m.Workload())
 	}
 	if m.Config().NetCores != 24 {
 		t.Fatal("config passthrough")
@@ -198,10 +203,10 @@ func TestSweeperEliminatesConsumedEvictions(t *testing.T) {
 
 func TestMemSinkClassification(t *testing.T) {
 	m := MustNew(quickCfg())
-	sink := (*memSink)(m)
+	sink := m.dp
 	rx := m.Space().RXBase(0)
 	tx := m.Space().TXBase(0)
-	app := m.KVS().LogBase()
+	app := m.Workload().(*workload.KVS).LogBase()
 
 	sink.WritebackEvict(0, rx)
 	sink.WritebackEvict(0, tx)
@@ -223,8 +228,8 @@ func TestMemSinkClassification(t *testing.T) {
 		stats.NICTXRd:    1,
 	}
 	for k, n := range want {
-		if m.breakdown.Count(k) != n {
-			t.Errorf("%v = %d, want %d", k, m.breakdown.Count(k), n)
+		if m.dp.breakdown.Count(k) != n {
+			t.Errorf("%v = %d, want %d", k, m.dp.breakdown.Count(k), n)
 		}
 	}
 }
@@ -267,7 +272,7 @@ func TestSpikesInflateTailLatency(t *testing.T) {
 
 func TestClosedLoopKeepsQueuesAndSaturates(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.Workload = WorkloadL3Fwd
+	cfg.Workload = workload.NameL3Fwd
 	cfg.ItemBytes = 0
 	cfg.RingSlots = 512
 	cfg.TXSlots = 512
@@ -287,7 +292,7 @@ func TestClosedLoopKeepsQueuesAndSaturates(t *testing.T) {
 
 func TestCollocationReportsXMemIPC(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.Workload = WorkloadL3FwdL1
+	cfg.Workload = workload.NameL3FwdL1
 	cfg.ItemBytes = 0
 	cfg.NetCores = 4
 	cfg.XMemCores = 4
@@ -303,7 +308,7 @@ func TestCollocationReportsXMemIPC(t *testing.T) {
 
 func TestPartitionMasksRestrictOccupancy(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.Workload = WorkloadL3FwdL1
+	cfg.Workload = workload.NameL3FwdL1
 	cfg.ItemBytes = 0
 	cfg.NetCores = 4
 	cfg.XMemCores = 4
@@ -333,7 +338,7 @@ func TestPartitionMasksRestrictOccupancy(t *testing.T) {
 
 func TestSweepTXEliminatesTXEvictions(t *testing.T) {
 	base := DefaultConfig()
-	base.Workload = WorkloadL3Fwd
+	base.Workload = workload.NameL3Fwd
 	base.ItemBytes = 0
 	base.RingSlots = 1024
 	base.TXSlots = 1024
@@ -366,13 +371,14 @@ func TestUseAfterRelinquishSanitizerCleanRun(t *testing.T) {
 	}
 }
 
-func TestWorkloadKindString(t *testing.T) {
-	if WorkloadKVS.String() != "kvs" || WorkloadL3Fwd.String() != "l3fwd" ||
-		WorkloadL3FwdL1.String() != "l3fwd-l1" {
-		t.Fatal("workload names")
+func TestBuiltinWorkloadsRegistered(t *testing.T) {
+	for _, name := range []string{workload.NameKVS, workload.NameL3Fwd, workload.NameL3FwdL1} {
+		if _, ok := workload.Lookup(name); !ok {
+			t.Errorf("builtin workload %q not registered", name)
+		}
 	}
-	if WorkloadKind(9).String() == "" {
-		t.Fatal("unknown workload")
+	if _, ok := workload.LookupStream(workload.NameXMem); !ok {
+		t.Error("builtin stream \"xmem\" not registered")
 	}
 }
 

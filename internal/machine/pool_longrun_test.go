@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sweeper/internal/nic"
+	"sweeper/internal/workload"
 )
 
 // fig6Cfg reproduces the Figure 6 machine shape: the paper's KVS with 1KB
@@ -13,7 +14,7 @@ import (
 // this configuration is the sharpest determinism probe the pool has.
 func fig6Cfg(rate float64) Config {
 	cfg := DefaultConfig()
-	cfg.Workload = WorkloadKVS
+	cfg.Workload = workload.NameKVS
 	cfg.ItemBytes = 1024
 	cfg.PacketBytes = 1024
 	cfg.RingSlots = 1024

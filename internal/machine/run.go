@@ -98,53 +98,24 @@ func (m *Machine) start() {
 		m.pgen.Start()
 	}
 	if m.cfg.DynamicDDIOEpoch > 0 && m.cfg.NICMode == nic.ModeDDIO {
-		m.dynWays = m.cfg.DDIOWays
-		m.eng.ScheduleAfter(m.cfg.DynamicDDIOEpoch, m, 0)
+		m.dp.startDynamicDDIO(m.cfg.DDIOWays)
 	}
-}
-
-// OnEvent implements sim.Sink: the machine's only self-scheduled event is
-// the dynamic-DDIO epoch controller.
-func (m *Machine) OnEvent(now uint64, _ uint64) { m.dynamicDDIO(now) }
-
-// dynamicDDIO is the IAT-style epoch controller (related work, §VII): it
-// widens the DDIO allocation while network leaks dominate recent DRAM
-// traffic and narrows it while application traffic dominates.
-func (m *Machine) dynamicDDIO(now uint64) {
-	cur := m.breakdown.Snapshot()
-	netLeak := (cur[stats.RXEvct] - m.dynLast[stats.RXEvct]) +
-		(cur[stats.CPURXRd] - m.dynLast[stats.CPURXRd])
-	appPressure := (cur[stats.OtherEvct] - m.dynLast[stats.OtherEvct]) +
-		(cur[stats.CPUOtherRd] - m.dynLast[stats.CPUOtherRd])
-	m.dynLast = cur
-
-	switch {
-	case netLeak > appPressure+appPressure/5 && m.dynWays < m.cfg.Cache.LLCWays:
-		m.dynWays++
-		m.hier.SetNICWays(m.dynWays)
-		m.dynAdjustments++
-	case appPressure > netLeak+netLeak/5 && m.dynWays > 2:
-		m.dynWays--
-		m.hier.SetNICWays(m.dynWays)
-		m.dynAdjustments++
-	}
-	m.eng.ScheduleAfter(m.cfg.DynamicDDIOEpoch, m, 0)
 }
 
 // DynamicDDIOWays reports the controller's current allocation and how many
 // adjustments it has made (zero when the controller is off).
 func (m *Machine) DynamicDDIOWays() (ways int, adjustments uint64) {
-	return m.dynWays, m.dynAdjustments
+	return m.dp.dynWays, m.dp.dynAdjustments
 }
 
 func (m *Machine) snap() windowSnap {
 	s := windowSnap{
-		breakdown: m.breakdown.Snapshot(),
-		dramTxns:  m.dram.Transactions(),
+		breakdown: m.dp.breakdown.Snapshot(),
+		dramTxns:  m.dp.dram.Transactions(),
 		served:    m.served,
 		dropped:   m.nicD.Dropped(),
-		llcHits:   m.hier.LLC().Hits(),
-		llcMisses: m.hier.LLC().Misses(),
+		llcHits:   m.dp.hier.LLC().Hits(),
+		llcMisses: m.dp.hier.LLC().Misses(),
 		start:     m.eng.Now(),
 	}
 	if m.pgen != nil {
@@ -153,7 +124,7 @@ func (m *Machine) snap() windowSnap {
 	for _, x := range m.xmem {
 		s.xmemAcc += x.Accesses()
 	}
-	_, s.sweepDrops = m.hier.Sweeps()
+	_, s.sweepDrops = m.dp.hier.Sweeps()
 	return s
 }
 
@@ -170,14 +141,16 @@ func (m *Machine) Run(warmup, measure uint64) Results {
 	m.start()
 	m.eng.RunUntil(warmup)
 
-	m.dramLat.Reset()
+	m.dp.dramLat.Reset()
 	m.reqLat.Reset()
 	m.svcSum, m.svcCount = 0, 0
 	m.measuring = true
+	m.dp.measuring = true
 	snap := m.snap()
 
 	m.eng.RunUntil(warmup + measure)
 	m.measuring = false
+	m.dp.measuring = false
 	return m.collect(snap, measure)
 }
 
@@ -188,17 +161,17 @@ func (m *Machine) collect(snap windowSnap, measure uint64) Results {
 	r.Served = m.served - snap.served
 	r.ThroughputMrps = stats.Mrps(r.Served, measure, freq)
 
-	txns := m.dram.Transactions() - snap.dramTxns
+	txns := m.dp.dram.Transactions() - snap.dramTxns
 	r.MemBWGBps = stats.GBps(txns, measure, freq)
-	r.MemBWUtilization = r.MemBWGBps / m.dram.PeakGBps(freq)
+	r.MemBWUtilization = r.MemBWGBps / m.dp.dram.PeakGBps(freq)
 
-	r.AccessCounts = m.breakdown.Sub(snap.breakdown)
+	r.AccessCounts = m.dp.breakdown.Sub(snap.breakdown)
 	r.AccessesPerRequest = stats.PerRequest(r.AccessCounts, r.Served)
 
-	r.DRAMLatMean = m.dramLat.Mean()
-	r.DRAMLatP50 = m.dramLat.Percentile(0.50)
-	r.DRAMLatP99 = m.dramLat.Percentile(0.99)
-	r.DRAMLatCDF = m.dramLat.CDF()
+	r.DRAMLatMean = m.dp.dramLat.Mean()
+	r.DRAMLatP50 = m.dp.dramLat.Percentile(0.50)
+	r.DRAMLatP99 = m.dp.dramLat.Percentile(0.99)
+	r.DRAMLatCDF = m.dp.dramLat.CDF()
 
 	r.ReqLatMean = m.reqLat.Mean()
 	r.ReqLatP99 = m.reqLat.Percentile(0.99)
@@ -222,18 +195,18 @@ func (m *Machine) collect(snap windowSnap, measure uint64) Results {
 		acc -= snap.xmemAcc
 		r.XMemAccesses = acc
 		perCore := float64(acc) / float64(len(m.xmem))
-		instr := float64(m.xmem[0].Stream().Config().InstrPerAccess)
+		instr := float64(m.xmem[0].Stream().InstrPerAccess())
 		r.XMemIPC = perCore * instr / float64(measure)
 	}
 
-	hits := m.hier.LLC().Hits() - snap.llcHits
-	misses := m.hier.LLC().Misses() - snap.llcMisses
+	hits := m.dp.hier.LLC().Hits() - snap.llcHits
+	misses := m.dp.hier.LLC().Misses() - snap.llcMisses
 	if hits+misses > 0 {
 		r.LLCMissRatio = float64(misses) / float64(hits+misses)
 	}
 
 	r.Sweeper = m.sweep.Stats()
-	_, drops := m.hier.Sweeps()
+	_, drops := m.dp.hier.Sweeps()
 	r.SweeperSavedGBps = stats.GBps(drops-snap.sweepDrops, measure, freq)
 	return r
 }

@@ -6,6 +6,7 @@ import (
 	"sweeper/internal/core"
 	"sweeper/internal/nic"
 	"sweeper/internal/stats"
+	"sweeper/internal/workload"
 )
 
 // Directional sensitivity checks: these mirror the paper's sweeps at small
@@ -178,7 +179,8 @@ func TestWarmFillUsesDedicatedRegion(t *testing.T) {
 	// No warm line may alias KVS structures: every GET/SET address must
 	// miss the warm region. The warm region starts after the KVS
 	// allocations, so it suffices that warm occupancy lies beyond them.
-	kvsEnd := m.KVS().LogBase() + m.KVS().Config().LogBytes
+	kvs := m.Workload().(*workload.KVS)
+	kvsEnd := kvs.LogBase() + kvs.Config().LogBytes
 	aliased := m.Hierarchy().LLC().OccupancyByClass(func(a uint64) bool {
 		return a < kvsEnd
 	})
@@ -208,7 +210,7 @@ func TestDynamicDDIOControllerAdapts(t *testing.T) {
 	// The forwarder has almost no application traffic, so its leak
 	// dominates and the controller must widen the DDIO allocation.
 	cfg := DefaultConfig()
-	cfg.Workload = WorkloadL3Fwd
+	cfg.Workload = workload.NameL3Fwd
 	cfg.ItemBytes = 0
 	cfg.RingSlots = 2048
 	cfg.TXSlots = 2048

@@ -25,7 +25,7 @@ type TraceSink func(TraceEvent)
 // SetTraceSink installs a DRAM transaction observer. Call before Run; pass
 // nil to disable. Tracing observes only the measurement window, matching
 // the rest of the accounting.
-func (m *Machine) SetTraceSink(fn TraceSink) { m.trace = fn }
+func (m *Machine) SetTraceSink(fn TraceSink) { m.dp.trace = fn }
 
 // TraceCSV adapts an io.Writer into a TraceSink emitting CSV lines
 // (cycle,addr,kind,latency). The returned flush must be called after Run.

@@ -1,0 +1,345 @@
+// Package scenario defines declarative experiment scenarios: a JSON-friendly
+// description of a machine configuration, the packet-injection variants to
+// compare, and the parameter axes to sweep. The experiment harness and the
+// sweepersim CLI consume scenarios instead of hand-assembling machine
+// configurations, so a new study is a spec file, not a code change.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"sweeper/internal/cache"
+	"sweeper/internal/core"
+	"sweeper/internal/machine"
+	"sweeper/internal/nic"
+)
+
+// Spec is one declarative scenario: a base machine, the injection variants
+// to compare, and the sweep axes to cross. The zero Machine/Variants/Sweep
+// all default sensibly: Table I's server, run as configured, no sweep.
+type Spec struct {
+	// Name identifies the scenario ("fig5", "kvs", ...).
+	Name string `json:"name"`
+	// Description is a one-line human summary.
+	Description string `json:"description,omitempty"`
+	// Machine overlays knobs onto the Table I default configuration.
+	Machine Knobs `json:"machine"`
+	// Variants are the injection policies swept innermost; empty means
+	// "run the machine exactly as configured".
+	Variants []Variant `json:"variants,omitempty"`
+	// Sweep axes are crossed outermost-first; each point's label
+	// contributes to the run's parameter name.
+	Sweep []Axis `json:"sweep,omitempty"`
+}
+
+// Knobs overlays a base machine configuration. String-valued knobs are
+// explicit fields; numeric knobs live in Set, keyed by the names accepted by
+// applyKnob (ring_slots, item_bytes, mem_channels, ...).
+type Knobs struct {
+	// Workload names the networked application in the workload registry;
+	// empty keeps the default (the KVS).
+	Workload string `json:"workload,omitempty"`
+	// XMemWorkload names the background stream for collocated cores.
+	XMemWorkload string `json:"xmem_workload,omitempty"`
+	// WarmLLC overrides the warm-fill default when non-nil.
+	WarmLLC *bool `json:"warm_llc,omitempty"`
+	// Set holds numeric knob overrides, applied in any order (each knob
+	// writes an independent configuration field).
+	Set map[string]float64 `json:"set,omitempty"`
+}
+
+// Variant is one packet-injection policy (and Sweeper toggle) of a sweep.
+type Variant struct {
+	// Name labels the variant in tables; empty derives the conventional
+	// label ("DMA", "Ideal DDIO", "DDIO 4 Ways + Sweeper").
+	Name string `json:"name,omitempty"`
+	// Mode is "dma", "ddio", "idio" or "ideal"; empty leaves the base
+	// machine's mode untouched.
+	Mode string `json:"mode,omitempty"`
+	// Ways is the DDIO way allocation (ddio mode only).
+	Ways int `json:"ways,omitempty"`
+	// Sweeper enables application-driven RX relinquishing; TXSweep
+	// additionally sweeps transmit buffers from the NIC side.
+	Sweeper bool `json:"sweeper,omitempty"`
+	TXSweep bool `json:"tx_sweep,omitempty"`
+}
+
+// Axis is one swept parameter dimension.
+type Axis struct {
+	// Name documents the axis ("rx buffers per core").
+	Name string `json:"name,omitempty"`
+	// Points are visited in order; the cross product of all axes is
+	// taken outermost-first.
+	Points []Point `json:"points"`
+}
+
+// Point is one value of an axis: a label and the knobs it sets.
+type Point struct {
+	// Label contributes to the run's parameter name; multi-axis labels
+	// join with "/" ("1024B" + "512 buf" -> "1024B/512 buf").
+	Label string `json:"label"`
+	// Set assigns numeric knobs, like Knobs.Set.
+	Set map[string]float64 `json:"set,omitempty"`
+}
+
+// Run is one fully expanded simulation of a scenario.
+type Run struct {
+	// Param is the joined axis labels ("1024B/512 buf"); empty for
+	// sweepless scenarios.
+	Param string
+	// Variant is the injection policy applied to Config (zero for
+	// variantless scenarios).
+	Variant Variant
+	// Config is the complete, validated machine configuration.
+	Config machine.Config
+	// ClosedLoopDepth mirrors Config.ClosedLoopDepth for harnesses that
+	// normalize traffic knobs before running.
+	ClosedLoopDepth int
+}
+
+// NICMode parses the variant's mode string.
+func (v Variant) NICMode() (nic.Mode, error) {
+	switch v.Mode {
+	case "dma":
+		return nic.ModeDMA, nil
+	case "ddio":
+		return nic.ModeDDIO, nil
+	case "idio":
+		return nic.ModeIDIO, nil
+	case "ideal":
+		return nic.ModeIdeal, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown NIC mode %q (want dma, ddio, idio or ideal)", v.Mode)
+	}
+}
+
+// DisplayName returns the variant's table label, deriving the conventional
+// one when unset.
+func (v Variant) DisplayName() string {
+	if v.Name != "" {
+		return v.Name
+	}
+	switch v.Mode {
+	case "dma":
+		return "DMA"
+	case "ideal":
+		return "Ideal DDIO"
+	case "idio":
+		return "IDIO"
+	case "ddio":
+		name := fmt.Sprintf("DDIO %d Ways", v.Ways)
+		if v.Sweeper {
+			name += " + Sweeper"
+		}
+		return name
+	default:
+		return "as configured"
+	}
+}
+
+// Apply stamps the variant onto a configuration. An empty-mode variant is a
+// no-op, leaving the base machine's injection policy in place.
+func (v Variant) Apply(cfg machine.Config) (machine.Config, error) {
+	if v.Mode == "" {
+		return cfg, nil
+	}
+	mode, err := v.NICMode()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.NICMode = mode
+	if mode == nic.ModeDDIO {
+		if v.Ways <= 0 {
+			return cfg, fmt.Errorf("scenario: variant %q needs positive DDIO ways", v.DisplayName())
+		}
+		cfg.DDIOWays = v.Ways
+	}
+	cfg.Sweeper = core.Config{RXSweep: v.Sweeper, IssueCyclesPerLine: 1}
+	if v.TXSweep {
+		cfg.Sweeper.TXSweep = true
+		cfg.SweepTX = true
+	}
+	return cfg, nil
+}
+
+// applyKnob writes one numeric knob into a configuration. Every knob targets
+// an independent field (partition_split reads only the immutable LLC way
+// count), so a knob set may be applied in any order.
+func applyKnob(cfg *machine.Config, knob string, v float64) error {
+	switch knob {
+	case "net_cores":
+		cfg.NetCores = int(v)
+	case "xmem_cores":
+		cfg.XMemCores = int(v)
+	case "ring_slots":
+		cfg.RingSlots = int(v)
+	case "tx_slots":
+		cfg.TXSlots = int(v)
+	case "packet_bytes":
+		cfg.PacketBytes = uint64(v)
+	case "item_bytes":
+		cfg.ItemBytes = uint64(v)
+	case "ddio_ways":
+		cfg.DDIOWays = int(v)
+	case "offered_mrps":
+		cfg.OfferedMrps = v
+	case "closed_loop_depth":
+		cfg.ClosedLoopDepth = int(v)
+	case "mem_channels":
+		cfg.Mem.Channels = int(v)
+	case "spike_prob":
+		cfg.SpikeProb = v
+	case "spike_min_cycles":
+		cfg.SpikeMinCycles = uint64(v)
+	case "spike_max_cycles":
+		cfg.SpikeMaxCycles = uint64(v)
+	case "poll_cycles":
+		cfg.PollCycles = uint64(v)
+	case "mlp_width":
+		cfg.MLPWidth = int(v)
+	case "seed":
+		cfg.Seed = int64(v)
+	case "dynamic_ddio_epoch":
+		cfg.DynamicDDIOEpoch = uint64(v)
+	case "nebula_drop_depth":
+		cfg.NeBuLaDropDepth = int(v)
+	case "partition_split":
+		// The §VI-E disjoint partition: the NIC and networked cores get
+		// the first n LLC ways, collocated tenants the rest.
+		n := int(v)
+		if n <= 0 || n >= cfg.Cache.LLCWays {
+			return fmt.Errorf("scenario: partition_split %d outside (0,%d)", n, cfg.Cache.LLCWays)
+		}
+		cfg.NICWayMask = cache.MaskAll(n)
+		cfg.NetCPUWayMask = cache.MaskAll(n)
+		cfg.XMemWayMask = cache.MaskRange(n, cfg.Cache.LLCWays)
+	default:
+		return fmt.Errorf("scenario: unknown knob %q", knob)
+	}
+	return nil
+}
+
+// baseConfig builds the spec's machine configuration before axes and
+// variants: Table I defaults overlaid with the spec's knobs.
+func (s Spec) baseConfig() (machine.Config, error) {
+	cfg := machine.DefaultConfig()
+	if s.Machine.Workload != "" {
+		cfg.Workload = s.Machine.Workload
+	}
+	if s.Machine.XMemWorkload != "" {
+		cfg.XMemWorkload = s.Machine.XMemWorkload
+	}
+	if s.Machine.WarmLLC != nil {
+		cfg.WarmLLC = *s.Machine.WarmLLC
+	}
+	for knob, v := range s.Machine.Set {
+		if err := applyKnob(&cfg, knob, v); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// Config expands a sweepless view of the scenario: the base machine with
+// optional extra knob overrides, no variant applied. Harnesses use it to
+// derive one-off configurations from a shipped scenario.
+func (s Spec) Config(overrides map[string]float64) (machine.Config, error) {
+	cfg, err := s.baseConfig()
+	if err != nil {
+		return cfg, err
+	}
+	for knob, v := range overrides {
+		if err := applyKnob(&cfg, knob, v); err != nil {
+			return cfg, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// Expand crosses the sweep axes (outermost-first) with the variants
+// (innermost) into the scenario's full run list, validating every resulting
+// configuration. A sweepless spec yields one run per variant; a variantless
+// spec runs each point as configured.
+func (s Spec) Expand() ([]Run, error) {
+	base, err := s.baseConfig()
+	if err != nil {
+		return nil, err
+	}
+	variants := s.Variants
+	if len(variants) == 0 {
+		variants = []Variant{{}}
+	}
+
+	var runs []Run
+	var walk func(axis int, labels []string, cfg machine.Config) error
+	walk = func(axis int, labels []string, cfg machine.Config) error {
+		if axis == len(s.Sweep) {
+			for _, v := range variants {
+				final, err := v.Apply(cfg)
+				if err != nil {
+					return err
+				}
+				if err := final.Validate(); err != nil {
+					return fmt.Errorf("scenario %q, param %q, variant %q: %w",
+						s.Name, strings.Join(labels, "/"), v.DisplayName(), err)
+				}
+				runs = append(runs, Run{
+					Param:           strings.Join(labels, "/"),
+					Variant:         v,
+					Config:          final,
+					ClosedLoopDepth: final.ClosedLoopDepth,
+				})
+			}
+			return nil
+		}
+		ax := s.Sweep[axis]
+		for _, pt := range ax.Points {
+			c := cfg
+			for knob, v := range pt.Set {
+				if err := applyKnob(&c, knob, v); err != nil {
+					return fmt.Errorf("scenario %q, axis %d point %q: %w", s.Name, axis, pt.Label, err)
+				}
+			}
+			if err := walk(axis+1, append(labels, pt.Label), c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0, nil, base); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// Validate checks the spec structurally and expands it, so every swept
+// configuration is vetted by machine validation before any simulation runs.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	for i, ax := range s.Sweep {
+		if len(ax.Points) == 0 {
+			return fmt.Errorf("scenario %q: axis %d has no points", s.Name, i)
+		}
+		for j, pt := range ax.Points {
+			if pt.Label == "" {
+				return fmt.Errorf("scenario %q: axis %d point %d has no label", s.Name, i, j)
+			}
+		}
+	}
+	for _, v := range s.Variants {
+		if v.Mode == "" {
+			continue
+		}
+		if _, err := v.NICMode(); err != nil {
+			return err
+		}
+	}
+	_, err := s.Expand()
+	return err
+}

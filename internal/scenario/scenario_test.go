@@ -1,0 +1,208 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sweeper/internal/machine"
+	"sweeper/internal/nic"
+)
+
+func TestBuiltinSpecsValidate(t *testing.T) {
+	for _, s := range Builtins() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("builtin %q: %v", s.Name, err)
+		}
+	}
+}
+
+func TestBuiltinJSONRoundTrip(t *testing.T) {
+	for _, want := range Builtins() {
+		b, err := Marshal(want)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", want.Name, err)
+		}
+		got, err := Load(strings.NewReader(string(b)))
+		if err != nil {
+			t.Fatalf("%s: load: %v", want.Name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: round trip changed the spec\n got: %+v\nwant: %+v", want.Name, got, want)
+		}
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	cases := map[string]string{
+		"top level":  `{"name": "x", "bogus": 1}`,
+		"machine":    `{"name": "x", "machine": {"workload": "kvs", "frobnicate": 2}}`,
+		"variant":    `{"name": "x", "variants": [{"mode": "dma", "whoops": true}]}`,
+		"sweep axis": `{"name": "x", "sweep": [{"points": [{"label": "a"}], "extra": 1}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: unknown field accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsBadSpecs(t *testing.T) {
+	cases := map[string]string{
+		"no name":         `{"machine": {"workload": "kvs"}}`,
+		"unknown knob":    `{"name": "x", "machine": {"set": {"frobnicate": 1}}}`,
+		"unknown mode":    `{"name": "x", "variants": [{"mode": "warp"}]}`,
+		"zero ddio ways":  `{"name": "x", "variants": [{"mode": "ddio"}]}`,
+		"unlabeled point": `{"name": "x", "sweep": [{"points": [{"set": {"ring_slots": 512}}]}]}`,
+		"empty axis":      `{"name": "x", "sweep": [{"points": []}]}`,
+		"bad machine":     `{"name": "x", "machine": {"set": {"ring_slots": 1000}}}`,
+		"bad workload":    `{"name": "x", "machine": {"workload": "nonesuch"}}`,
+		"bad partition":   `{"name": "x", "machine": {"set": {"partition_split": 12}}}`,
+		"trailing data":   `{"name": "x"} {"name": "y"}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestShippedSpecFiles proves every examples/scenarios/*.json parses,
+// validates, and stays in lockstep with the builtin it ships.
+func TestShippedSpecFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "scenarios")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	seen := map[string]bool{}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		got, err := LoadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		want, ok := Builtin(got.Name)
+		if !ok {
+			t.Errorf("%s: names unknown builtin %q", e.Name(), got.Name)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: diverged from builtin %q; regenerate with scenario.Marshal", e.Name(), got.Name)
+		}
+		seen[got.Name] = true
+	}
+	for _, name := range BuiltinNames() {
+		if !seen[name] {
+			t.Errorf("builtin %q has no spec file under %s", name, dir)
+		}
+	}
+}
+
+// TestExpandOrdering pins the run order and labels the CSV goldens depend
+// on: axes outermost in declaration order, variants innermost.
+func TestExpandOrdering(t *testing.T) {
+	runs, err := MustSpec("fig1").Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 15 {
+		t.Fatalf("fig1: %d runs, want 15", len(runs))
+	}
+	wantParams := []string{"512 buf", "1024 buf", "2048 buf"}
+	wantVariants := []string{"DMA", "DDIO 2 Ways", "DDIO 4 Ways", "DDIO 6 Ways", "Ideal DDIO"}
+	for i, r := range runs {
+		if p := wantParams[i/5]; r.Param != p {
+			t.Errorf("run %d: param %q, want %q", i, r.Param, p)
+		}
+		if v := wantVariants[i%5]; r.Variant.DisplayName() != v {
+			t.Errorf("run %d: variant %q, want %q", i, r.Variant.DisplayName(), v)
+		}
+	}
+
+	runs, err = MustSpec("fig8").Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3*3*7 {
+		t.Fatalf("fig8: %d runs, want 63", len(runs))
+	}
+	if got, want := runs[0].Param, "512B/512 buf/3ch"; got != want {
+		t.Errorf("fig8 first param %q, want %q", got, want)
+	}
+	last := runs[len(runs)-1]
+	if got, want := last.Param, "1024B/2048 buf/8ch"; got != want {
+		t.Errorf("fig8 last param %q, want %q", got, want)
+	}
+	if got, want := last.Variant.DisplayName(), "Ideal DDIO"; got != want {
+		t.Errorf("fig8 last variant %q, want %q", got, want)
+	}
+}
+
+// TestExpandConfigsMatchHandBuilt proves spec expansion reproduces the
+// machine configurations the harness used to assemble by hand.
+func TestExpandConfigsMatchHandBuilt(t *testing.T) {
+	runs, err := MustSpec("fig2").Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First run: l3fwd, 2048 rings, D=50, 2-way DDIO.
+	want := machine.DefaultConfig()
+	want.Workload = "l3fwd"
+	want.PacketBytes = 1024
+	want.ItemBytes = 0
+	want.RingSlots = 2048
+	want.TXSlots = 2048
+	want.ClosedLoopDepth = 50
+	want.NICMode = nic.ModeDDIO
+	want.DDIOWays = 2
+	got := runs[0]
+	if got.Config != want {
+		t.Errorf("fig2 run 0:\n got %+v\nwant %+v", got.Config, want)
+	}
+	if got.ClosedLoopDepth != 50 {
+		t.Errorf("fig2 run 0: ClosedLoopDepth %d, want 50", got.ClosedLoopDepth)
+	}
+
+	// Ideal variant leaves DDIOWays at the base default.
+	ideal := runs[3]
+	if ideal.Config.NICMode != nic.ModeIdeal {
+		t.Errorf("fig2 run 3: mode %v, want ideal", ideal.Config.NICMode)
+	}
+}
+
+func TestConfigOverrides(t *testing.T) {
+	cfg, err := MustSpec("kvs").Config(map[string]float64{
+		"item_bytes":   512,
+		"packet_bytes": 512,
+		"ring_slots":   512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ItemBytes != 512 || cfg.PacketBytes != 512 || cfg.RingSlots != 512 {
+		t.Errorf("overrides not applied: %+v", cfg)
+	}
+	if cfg.TXSlots != 128 {
+		t.Errorf("TXSlots %d, want the KVS default 128", cfg.TXSlots)
+	}
+
+	if _, err := MustSpec("kvs").Config(map[string]float64{"ring_slots": 1000}); err == nil {
+		t.Error("non-power-of-two ring accepted")
+	}
+}
+
+func TestPartitionSplitKnob(t *testing.T) {
+	cfg := MustConfig("collocation", map[string]float64{"partition_split": 4})
+	if cfg.NICWayMask == 0 || cfg.NetCPUWayMask == 0 || cfg.XMemWayMask == 0 {
+		t.Fatalf("partition masks not set: %+v", cfg)
+	}
+	if cfg.NICWayMask&cfg.XMemWayMask != 0 {
+		t.Errorf("NIC and X-Mem partitions overlap: %b vs %b", cfg.NICWayMask, cfg.XMemWayMask)
+	}
+}

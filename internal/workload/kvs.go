@@ -37,6 +37,17 @@ func DefaultKVSConfig(itemBytes uint64) KVSConfig {
 	}
 }
 
+// Validate reports configuration errors before the store is built.
+func (c KVSConfig) Validate() error {
+	if c.ItemBytes == 0 || c.ItemBytes%addr.LineBytes != 0 {
+		return fmt.Errorf("workload: KVS item size %dB must be a positive multiple of %d", c.ItemBytes, addr.LineBytes)
+	}
+	if c.LogBytes < c.ItemBytes {
+		return fmt.Errorf("workload: KVS log (%dB) too small to hold one %dB item", c.LogBytes, c.ItemBytes)
+	}
+	return nil
+}
+
 // KVS is the MICA-like store: a bucket array indexes items appended to a
 // circular log. The simulator executes its access plan; the functional
 // layer stores an 8-byte fingerprint per key so correctness (GET returns
@@ -59,47 +70,38 @@ type KVS struct {
 	gets, sets uint64
 }
 
-// NewKVS lays the store's structures out in the address space and
-// pre-populates every key, mirroring the paper's pre-populated 2.4M pairs.
-func NewKVS(cfg KVSConfig, space *addr.Space) *KVS {
-	if cfg.ItemBytes == 0 || cfg.ItemBytes%addr.LineBytes != 0 {
-		panic(fmt.Sprintf("workload: item size %dB must be a positive multiple of 64", cfg.ItemBytes))
-	}
-	if cfg.LogBytes < cfg.ItemBytes {
-		panic("workload: log too small to hold one item")
+// NewKVS allocates the store's in-memory structures (per-key arrays, Zipf
+// sampler). Call Layout before use to place and pre-populate the store in an
+// address space.
+func NewKVS(cfg KVSConfig) *KVS {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	// Note: 2.4M x 1KB items exceed the 256MB circular log, exactly as in
 	// MICA — the log wraps and old entries are overwritten in place, so
 	// cold keys' locations alias recycled log space. The architectural
 	// access pattern (bucket probe + log read/append) is unaffected.
-	k := &KVS{
-		cfg:         cfg,
-		bucketsBase: space.AllocApp(cfg.Buckets * addr.LineBytes),
-		logBase:     space.AllocApp(cfg.LogBytes),
-		zipf:        NewZipf(cfg.Keys, cfg.ZipfTheta, true),
-		keyLoc:      make([]uint64, cfg.Keys),
-		keyVer:      make([]uint64, cfg.Keys),
-		itemLines:   cfg.ItemBytes / addr.LineBytes,
+	return &KVS{
+		cfg:       cfg,
+		zipf:      NewZipf(cfg.Keys, cfg.ZipfTheta, true),
+		keyLoc:    make([]uint64, cfg.Keys),
+		keyVer:    make([]uint64, cfg.Keys),
+		itemLines: cfg.ItemBytes / addr.LineBytes,
 	}
-	// Pre-populate: each key gets an initial log slot, in key order.
-	for i := uint64(0); i < cfg.Keys; i++ {
-		k.keyLoc[i] = k.logHead
-		k.keyVer[i] = splitmix64(i)
-		k.advanceLog()
-	}
-	return k
 }
 
-// Reset re-initializes the store against a freshly Reset address space,
-// reusing the per-key location/version arrays (tens of MB for the default
-// 2.4M keys) and the Zipf sampler. It repeats NewKVS's allocation sequence —
-// buckets then log — so, given the same space state, the store lands at the
-// same addresses and the pre-population walk reproduces the same layout.
-func (k *KVS) Reset(space *addr.Space) {
+// Layout implements Driver: it lays the store's structures out in the
+// address space — buckets then log, always in that order — and
+// pre-populates every key, mirroring the paper's pre-populated 2.4M pairs.
+// Re-laying-out against a freshly Reset space reuses the per-key arrays
+// (tens of MB for the default 2.4M keys) and reproduces the identical
+// initial state a fresh store would have.
+func (k *KVS) Layout(space *addr.Space) {
 	k.bucketsBase = space.AllocApp(k.cfg.Buckets * addr.LineBytes)
 	k.logBase = space.AllocApp(k.cfg.LogBytes)
 	k.logHead = 0
 	k.gets, k.sets = 0, 0
+	// Pre-populate: each key gets an initial log slot, in key order.
 	for i := uint64(0); i < k.cfg.Keys; i++ {
 		k.keyLoc[i] = k.logHead
 		k.keyVer[i] = splitmix64(i)
@@ -186,6 +188,20 @@ func (k *KVS) PlanRequest(tag uint64, pktBytes uint64, plan *Plan) {
 	k.advanceLog()
 	plan.RespBytes = addr.LineBytes // acknowledgment
 }
+
+// ExtraServiceCycles implements Driver: the KVS adds no service delay
+// beyond its plan.
+func (k *KVS) ExtraServiceCycles(uint64) uint64 { return 0 }
+
+// Snapshot implements Driver.
+func (k *KVS) Snapshot() []Counter {
+	return []Counter{{Name: "gets", Value: k.gets}, {Name: "sets", Value: k.sets}}
+}
+
+// WarmLLC implements LLCWarmer: the store's steady state keeps the LLC full
+// of dirty appended log lines, so warm-started measurement windows need a
+// pre-filled hierarchy.
+func (k *KVS) WarmLLC() bool { return true }
 
 // Get returns the fingerprint of the key's latest value (functional layer).
 func (k *KVS) Get(key uint64) uint64 {

@@ -45,20 +45,19 @@ type L3Fwd struct {
 	forwarded  uint64
 }
 
-// NewL3Fwd allocates the route table in the address space.
-func NewL3Fwd(cfg L3FwdConfig, space *addr.Space) *L3Fwd {
+// NewL3Fwd builds the forwarder; call Layout to place its route table in an
+// address space.
+func NewL3Fwd(cfg L3FwdConfig) *L3Fwd {
 	if cfg.Rules == 0 || cfg.LookupDepth <= 0 {
 		panic("workload: l3fwd needs at least one rule and lookup step")
 	}
-	return &L3Fwd{
-		cfg:        cfg,
-		routesBase: space.AllocApp(cfg.Rules * addr.LineBytes),
-	}
+	return &L3Fwd{cfg: cfg}
 }
 
-// Reset re-allocates the route table in a freshly Reset address space and
-// clears the packet counter, mirroring NewL3Fwd.
-func (f *L3Fwd) Reset(space *addr.Space) {
+// Layout implements Driver: it allocates the route table in the address
+// space and clears the packet counter. Re-laying-out against a freshly Reset
+// space reproduces a fresh forwarder exactly.
+func (f *L3Fwd) Layout(space *addr.Space) {
 	f.routesBase = space.AllocApp(f.cfg.Rules * addr.LineBytes)
 	f.forwarded = 0
 }
@@ -92,6 +91,15 @@ func (f *L3Fwd) PlanRequest(tag uint64, pktBytes uint64, plan *Plan) {
 	}
 	plan.RespBytes = pktBytes // forward the whole packet
 	f.forwarded++
+}
+
+// ExtraServiceCycles implements Driver: the forwarder's jitter is already
+// part of its plan compute.
+func (f *L3Fwd) ExtraServiceCycles(uint64) uint64 { return 0 }
+
+// Snapshot implements Driver.
+func (f *L3Fwd) Snapshot() []Counter {
+	return []Counter{{Name: "forwarded", Value: f.forwarded}}
 }
 
 // Forwarded returns the number of packets planned.

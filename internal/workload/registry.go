@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Params carries the machine-level knobs a driver factory may consume. It is
+// comparable: the machine reuses a live driver across pooled Resets exactly
+// when the registry name and Params are unchanged.
+type Params struct {
+	// PacketBytes is the machine's RX slot / MTU size.
+	PacketBytes uint64
+	// ItemBytes sizes per-request application objects (KVS items); zero
+	// for workloads without one.
+	ItemBytes uint64
+}
+
+// Registration describes one named workload: how to build its driver and the
+// machine-facing sizing/validation hooks that must be answerable before a
+// driver exists (TX slot sizing shapes machine geometry).
+type Registration struct {
+	// Name keys the registry; scenario specs and machine configs refer to
+	// the workload by this name.
+	Name string
+	// New builds a driver for the given parameterization.
+	New func(p Params) (Driver, error)
+	// RespSlotBytes reports the largest response the workload produces,
+	// which sizes the machine's TX slots. Nil defers to PacketBytes.
+	RespSlotBytes func(p Params) uint64
+	// Validate vets the parameterization before machine assembly; nil
+	// accepts everything.
+	Validate func(p Params) error
+}
+
+// StreamRegistration describes one named background-tenant stream.
+type StreamRegistration struct {
+	Name string
+	// New builds one stream instance (one per collocated core); the
+	// machine seeds and lays it out afterwards via Stream.Layout.
+	New func(p Params) (Stream, error)
+}
+
+var (
+	regMu   sync.RWMutex
+	drivers = map[string]Registration{}
+	streams = map[string]StreamRegistration{}
+)
+
+// Register adds a workload to the driver registry. Registering an empty or
+// duplicate name panics: registration is a program-initialization error, not
+// a runtime condition.
+func Register(r Registration) {
+	if r.Name == "" || r.New == nil {
+		panic("workload: Register needs a name and a factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := drivers[r.Name]; dup {
+		panic(fmt.Sprintf("workload: driver %q registered twice", r.Name))
+	}
+	drivers[r.Name] = r
+}
+
+// Lookup returns the registration for name.
+func Lookup(name string) (Registration, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	r, ok := drivers[name]
+	return r, ok
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(drivers))
+	for n := range drivers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterStream adds a background-tenant stream to the registry.
+func RegisterStream(r StreamRegistration) {
+	if r.Name == "" || r.New == nil {
+		panic("workload: RegisterStream needs a name and a factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := streams[r.Name]; dup {
+		panic(fmt.Sprintf("workload: stream %q registered twice", r.Name))
+	}
+	streams[r.Name] = r
+}
+
+// LookupStream returns the stream registration for name.
+func LookupStream(name string) (StreamRegistration, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	r, ok := streams[name]
+	return r, ok
+}
+
+// StreamNames returns the registered stream names, sorted.
+func StreamNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(streams))
+	for n := range streams {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TXSlotBytes reports the TX slot size for a named workload under p: the
+// registered RespSlotBytes hook, defaulting to the packet size. Unknown
+// names also default to the packet size; configuration validation rejects
+// them before the value can matter.
+func TXSlotBytes(name string, p Params) uint64 {
+	if r, ok := Lookup(name); ok && r.RespSlotBytes != nil {
+		return r.RespSlotBytes(p)
+	}
+	return p.PacketBytes
+}
+
+// NewDriver builds a driver for a registered workload name.
+func NewDriver(name string, p Params) (Driver, error) {
+	r, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (registered: %v)", name, Names())
+	}
+	if r.Validate != nil {
+		if err := r.Validate(p); err != nil {
+			return nil, err
+		}
+	}
+	return r.New(p)
+}
+
+// ValidateParams runs a registered workload's parameter validation.
+func ValidateParams(name string, p Params) error {
+	r, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("workload: unknown workload %q (registered: %v)", name, Names())
+	}
+	if r.Validate != nil {
+		return r.Validate(p)
+	}
+	return nil
+}
+
+// NewStream builds one background-tenant stream instance.
+func NewStream(name string, p Params) (Stream, error) {
+	r, ok := LookupStream(name)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown stream %q (registered: %v)", name, StreamNames())
+	}
+	return r.New(p)
+}

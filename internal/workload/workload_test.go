@@ -99,7 +99,9 @@ func smallKVS(t *testing.T) *KVS {
 		ZipfTheta:     0.99,
 		ComputeCycles: 300,
 	}
-	return NewKVS(cfg, testSpace())
+	k := NewKVS(cfg)
+	k.Layout(testSpace())
+	return k
 }
 
 func TestKVSDefaults(t *testing.T) {
@@ -124,7 +126,7 @@ func TestKVSValidation(t *testing.T) {
 					t.Errorf("%s: expected panic", name)
 				}
 			}()
-			NewKVS(cfg, testSpace())
+			NewKVS(cfg)
 		}()
 	}
 }
@@ -293,7 +295,8 @@ func TestKVSLogWraps(t *testing.T) {
 		Keys: 100, Buckets: 16, LogBytes: 64 * 1024, // holds 64 1KB items
 		ItemBytes: 1024, GetPercent: 0, ZipfTheta: 0.5, ComputeCycles: 1,
 	}
-	k := NewKVS(cfg, testSpace())
+	k := NewKVS(cfg)
+	k.Layout(testSpace())
 	var plan Plan
 	for tag := uint64(0); tag < 500; tag++ {
 		k.PlanRequest(tag, 1024, &plan)
@@ -306,7 +309,8 @@ func TestKVSLogWraps(t *testing.T) {
 }
 
 func TestL3FwdPlanShape(t *testing.T) {
-	f := NewL3Fwd(DefaultL3FwdConfig(), testSpace())
+	f := NewL3Fwd(DefaultL3FwdConfig())
+	f.Layout(testSpace())
 	var plan Plan
 	f.PlanRequest(12345, 1024, &plan)
 	if !plan.ReadFullPacket {
@@ -329,7 +333,8 @@ func TestL3FwdPlanShape(t *testing.T) {
 }
 
 func TestL3FwdDeterministicRoutingWithJitter(t *testing.T) {
-	f := NewL3Fwd(DefaultL3FwdConfig(), testSpace())
+	f := NewL3Fwd(DefaultL3FwdConfig())
+	f.Layout(testSpace())
 	if f.NextHop(7) != f.NextHop(7) {
 		t.Fatal("routing not deterministic")
 	}
@@ -357,7 +362,8 @@ func TestL3FwdTableVariants(t *testing.T) {
 
 func TestL3FwdLookupsWithinTable(t *testing.T) {
 	space := testSpace()
-	f := NewL3Fwd(DefaultL3FwdConfig(), space)
+	f := NewL3Fwd(DefaultL3FwdConfig())
+	f.Layout(space)
 	var plan Plan
 	for tag := uint64(0); tag < 2000; tag++ {
 		f.PlanRequest(tag, 1024, &plan)
@@ -378,12 +384,13 @@ func TestL3FwdValidation(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	NewL3Fwd(L3FwdConfig{Rules: 0, LookupDepth: 1}, testSpace())
+	NewL3Fwd(L3FwdConfig{Rules: 0, LookupDepth: 1})
 }
 
 func TestXMemStream(t *testing.T) {
 	space := testSpace()
-	x := NewXMem(DefaultXMemConfig(), space, 1)
+	x := NewXMem(DefaultXMemConfig())
+	x.Layout(space, 1)
 	base := space.End() - x.Config().ArrayBytes
 	seen := map[uint64]bool{}
 	for i := 0; i < 10_000; i++ {
@@ -407,14 +414,16 @@ func TestXMemStream(t *testing.T) {
 
 func TestXMemDeterministicPerSeed(t *testing.T) {
 	s1, s2 := testSpace(), testSpace()
-	a := NewXMem(DefaultXMemConfig(), s1, 42)
-	b := NewXMem(DefaultXMemConfig(), s2, 42)
+	a, b := NewXMem(DefaultXMemConfig()), NewXMem(DefaultXMemConfig())
+	a.Layout(s1, 42)
+	b.Layout(s2, 42)
 	for i := 0; i < 100; i++ {
 		if a.Next() != b.Next() {
 			t.Fatal("streams with equal seeds diverge")
 		}
 	}
-	c := NewXMem(DefaultXMemConfig(), testSpace(), 43)
+	c := NewXMem(DefaultXMemConfig())
+	c.Layout(testSpace(), 43)
 	diff := false
 	for i := 0; i < 100; i++ {
 		if a.Next() != c.Next() {
@@ -427,7 +436,8 @@ func TestXMemDeterministicPerSeed(t *testing.T) {
 }
 
 func TestXMemIPC(t *testing.T) {
-	x := NewXMem(DefaultXMemConfig(), testSpace(), 1)
+	x := NewXMem(DefaultXMemConfig())
+	x.Layout(testSpace(), 1)
 	// 1000 accesses x 8 instr over 16000 cycles = 0.5 IPC.
 	if got := x.IPC(1000, 16_000); got != 0.5 {
 		t.Fatalf("IPC = %g", got)
@@ -443,17 +453,17 @@ func TestXMemValidation(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	NewXMem(XMemConfig{ArrayBytes: 32}, testSpace(), 1)
+	NewXMem(XMemConfig{ArrayBytes: 32})
 }
 
 func TestWorkloadNames(t *testing.T) {
 	if smallKVS(t).Name() != "kvs-1024B" {
 		t.Fatal("kvs name")
 	}
-	if NewL3Fwd(DefaultL3FwdConfig(), testSpace()).Name() != "l3fwd-16384r" {
+	if NewL3Fwd(DefaultL3FwdConfig()).Name() != "l3fwd-16384r" {
 		t.Fatal("l3fwd name")
 	}
-	if NewXMem(DefaultXMemConfig(), testSpace(), 0).Name() != "xmem-2MB" {
+	if NewXMem(DefaultXMemConfig()).Name() != "xmem-2MB" {
 		t.Fatal("xmem name")
 	}
 }

@@ -34,23 +34,22 @@ type XMem struct {
 	accesses uint64
 }
 
-// NewXMem allocates the instance's private array. seed differentiates the
-// streams of collocated instances.
-func NewXMem(cfg XMemConfig, space *addr.Space, seed uint64) *XMem {
+// NewXMem builds one instance; call Layout to allocate its private array and
+// seed the stream (the seed differentiates collocated instances).
+func NewXMem(cfg XMemConfig) *XMem {
 	if cfg.ArrayBytes < addr.LineBytes {
 		panic("workload: xmem array must hold at least one line")
 	}
 	return &XMem{
 		cfg:   cfg,
-		base:  space.AllocApp(cfg.ArrayBytes),
 		lines: cfg.ArrayBytes / addr.LineBytes,
-		state: splitmix64(seed | 1),
 	}
 }
 
-// Reset re-allocates the private array in a freshly Reset address space and
-// restarts the access stream from seed, mirroring NewXMem.
-func (x *XMem) Reset(space *addr.Space, seed uint64) {
+// Layout implements Stream: it allocates the private array in the address
+// space and (re)starts the access sequence from seed. Re-laying-out against
+// a freshly Reset space reproduces a fresh instance exactly.
+func (x *XMem) Layout(space *addr.Space, seed uint64) {
 	x.base = space.AllocApp(x.cfg.ArrayBytes)
 	x.state = splitmix64(seed | 1)
 	x.accesses = 0
@@ -61,6 +60,12 @@ func (x *XMem) Name() string { return fmt.Sprintf("xmem-%dMB", x.cfg.ArrayBytes>
 
 // Config returns the instance's configuration.
 func (x *XMem) Config() XMemConfig { return x.cfg }
+
+// ComputeCycles implements Stream: the fixed gap between access batches.
+func (x *XMem) ComputeCycles() uint64 { return x.cfg.ComputeCycles }
+
+// InstrPerAccess implements Stream: the IPC-proxy conversion factor.
+func (x *XMem) InstrPerAccess() uint64 { return x.cfg.InstrPerAccess }
 
 // Next returns the next dependent random line address in the stream.
 func (x *XMem) Next() uint64 {

@@ -24,6 +24,7 @@ import (
 	"sweeper/internal/core"
 	"sweeper/internal/machine"
 	"sweeper/internal/nic"
+	"sweeper/internal/workload"
 )
 
 // Config describes one simulated server configuration; see the field
@@ -40,11 +41,12 @@ type Machine = machine.Machine
 // sink with (*Machine).SetTraceSink before Run.
 type TraceEvent = machine.TraceEvent
 
-// Workload identifiers.
+// Workload registry names. Config.Workload takes any name registered with
+// the workload package's driver registry; these are the built-ins.
 const (
-	WorkloadKVS     = machine.WorkloadKVS
-	WorkloadL3Fwd   = machine.WorkloadL3Fwd
-	WorkloadL3FwdL1 = machine.WorkloadL3FwdL1
+	WorkloadKVS     = workload.NameKVS
+	WorkloadL3Fwd   = workload.NameL3Fwd
+	WorkloadL3FwdL1 = workload.NameL3FwdL1
 )
 
 // Packet injection policies: the §III baselines plus the related-work
