@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e check results
+.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e check results obs-smoke test-debug
 
 all: check
 
@@ -51,6 +51,22 @@ bench-e2e:
 bench: bench-engine bench-mem bench-e2e
 
 check: build vet lint test race bench-engine
+
+# Observability smoke: drive the CLI with every exporter enabled against the
+# kvs scenario, then validate the artifacts (CSV/JSON structure) in-process.
+obs-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/sweepersim -scenario examples/scenarios/kvs.json \
+		-warmup 200000 -measure 400000 \
+		-metrics artifacts/metrics.csv -trace artifacts/trace.json \
+		-manifest artifacts/manifest.json
+	SWEEPER_OBS_DIR=$(CURDIR)/artifacts $(GO) test ./internal/obs -run TestObsSmoke -count=1 -v
+
+# Debug build with the invariant probes compiled in (ring slot conservation,
+# DRAM timing monotonicity, cache inclusion, DDIO way-mask bounds).
+test-debug:
+	$(GO) build -tags sweeperdebug ./...
+	$(GO) test -tags sweeperdebug ./internal/machine/ ./internal/obs/ -run 'TestProbe|TestObs'
 
 # Regenerate the committed experiment artifacts (takes a while).
 results:

@@ -15,11 +15,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"sweeper/internal/core"
 	"sweeper/internal/machine"
 	"sweeper/internal/nic"
+	"sweeper/internal/obs"
 	"sweeper/internal/prof"
 	"sweeper/internal/scenario"
 	"sweeper/internal/stats"
@@ -54,10 +57,15 @@ func main() {
 		nebula       = flag.Int("nebula", 0, "NeBuLa-style drop threshold (0 = off)")
 		spikeProb    = flag.Float64("spike-prob", 0, "per-request service spike probability (§VI-F)")
 		sanitize     = flag.Bool("sanitize", false, "flag use-after-relinquish reads")
-		tracePath    = flag.String("trace", "", "write a DRAM transaction trace CSV to this file")
+		dramTrace    = flag.String("dram-trace", "", "write a DRAM transaction trace CSV to this file")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	var ob obsFlags
+	flag.StringVar(&ob.trace, "trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
+	flag.StringVar(&ob.metrics, "metrics", "", "write the sampled metric time-series CSV to this file")
+	flag.StringVar(&ob.manifest, "manifest", "", "write a JSON run manifest (config, results, metrics) to this file")
+	flag.Uint64Var(&ob.sample, "sample", 0, "metric sampling period in cycles (0 = ~256 samples per run)")
 	flag.Parse()
 
 	if *listAll {
@@ -72,7 +80,7 @@ func main() {
 	defer stopProfiles()
 
 	if *scenarioPath != "" {
-		runScenario(*scenarioPath, *warmup, *measure)
+		runScenario(*scenarioPath, *warmup, *measure, ob)
 		return
 	}
 
@@ -120,8 +128,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+	if *dramTrace != "" {
+		f, err := os.Create(*dramTrace)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -136,7 +144,9 @@ func main() {
 			}
 		}()
 	}
+	ob.arm(m)
 	r := m.Run(*warmup, *measure)
+	ob.export(m, cfg, fmt.Sprintf("%s %s", cfg.Workload, cfg.NICMode), r, 0, 1)
 	printResults(cfg, r)
 	if *sanitize {
 		if v := m.Sweeper().Violations(); len(v) > 0 {
@@ -163,7 +173,7 @@ func list(w *os.File) {
 }
 
 // runScenario expands a spec file and simulates every run in order.
-func runScenario(path string, warmup, measure uint64) {
+func runScenario(path string, warmup, measure uint64, ob obsFlags) {
 	spec, err := scenario.LoadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -183,7 +193,84 @@ func runScenario(path string, warmup, measure uint64) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		printResults(r.Config, m.Run(warmup, measure))
+		ob.arm(m)
+		res := m.Run(warmup, measure)
+		label := spec.Name + " " + r.Variant.DisplayName()
+		if r.Param != "" {
+			label += " " + r.Param
+		}
+		ob.export(m, r.Config, label, res, i, len(runs))
+		printResults(r.Config, res)
+	}
+}
+
+// obsFlags bundles the observability exporter options shared by the single-
+// config and scenario modes.
+type obsFlags struct {
+	metrics  string
+	trace    string
+	manifest string
+	sample   uint64
+}
+
+func (o obsFlags) active() bool {
+	return o.metrics != "" || o.trace != "" || o.manifest != ""
+}
+
+// arm enables metric sampling on the machine when any exporter is requested,
+// so the run records the time-series the exporters need.
+func (o obsFlags) arm(m *machine.Machine) {
+	if o.active() {
+		m.EnableSampling(o.sample)
+	}
+}
+
+// export writes the requested artifacts for a completed run. In multi-run
+// scenarios each output path gains a ".runNN" suffix before its extension so
+// runs do not clobber each other; single runs write the exact path given.
+func (o obsFlags) export(m *machine.Machine, cfg machine.Config, label string, r machine.Results, runIdx, nRuns int) {
+	if o.metrics != "" {
+		writeArtifact(obsOutPath(o.metrics, runIdx, nRuns), func(f *os.File) error {
+			return obs.WriteSeriesCSV(f, m.ObsSeries())
+		})
+	}
+	if o.trace != "" {
+		meta := obs.TraceMeta{Process: "sweepersim " + label, FreqHz: cfg.FreqHz}
+		writeArtifact(obsOutPath(o.trace, runIdx, nRuns), func(f *os.File) error {
+			return obs.WriteChromeTrace(f, m.ObsSeries(), meta)
+		})
+	}
+	if o.manifest != "" {
+		man := m.BuildManifest(label, r)
+		man.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		writeArtifact(obsOutPath(o.manifest, runIdx, nRuns), func(f *os.File) error {
+			return obs.WriteManifest(f, man)
+		})
+	}
+}
+
+// obsOutPath inserts a ".runNN" tag before the extension for multi-run
+// scenarios: out.json -> out.run03.json.
+func obsOutPath(path string, runIdx, nRuns int) string {
+	if nRuns <= 1 {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.run%02d%s", strings.TrimSuffix(path, ext), runIdx+1, ext)
+}
+
+// writeArtifact creates path and runs the writer against it, failing the
+// process on any error so a truncated artifact never passes silently.
+func writeArtifact(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"sweeper/internal/obs"
+)
 
 // Requestor identifies who issued a DRAM demand read.
 type Requestor uint8
@@ -170,6 +174,10 @@ func (h *Hierarchy) SetNICWayMask(m WayMask) {
 	if m == 0 {
 		panic("cache: empty NIC way mask")
 	}
+	if obs.ProbesEnabled && m>>h.cfg.LLCWays != 0 {
+		obs.Failf("cache: NIC way mask %#x names ways beyond the %d-way LLC",
+			uint32(m), h.cfg.LLCWays)
+	}
 	h.nicMask = m
 }
 
@@ -179,11 +187,25 @@ func (h *Hierarchy) SetCPUWayMask(core int, m WayMask) {
 	if m == 0 {
 		panic("cache: empty CPU way mask")
 	}
+	if obs.ProbesEnabled && m>>h.cfg.LLCWays != 0 {
+		obs.Failf("cache: core %d way mask %#x names ways beyond the %d-way LLC",
+			core, uint32(m), h.cfg.LLCWays)
+	}
 	h.cpuMask[core] = m
 }
 
 // NICWayMask returns the current DDIO allocation mask.
 func (h *Hierarchy) NICWayMask() WayMask { return h.nicMask }
+
+// RegisterMetrics exposes shared-cache activity and the live DDIO way
+// pressure to the observability registry.
+func (h *Hierarchy) RegisterMetrics(r *obs.Registry) {
+	r.Counter("llc.hits", h.llc.Hits)
+	r.Counter("llc.misses", h.llc.Misses)
+	r.Counter("llc.sweep_ops", func() uint64 { return h.sweeps })
+	r.Counter("llc.sweep_dropped_dirty", func() uint64 { return h.sweptDirty })
+	r.Gauge("llc.ddio_ways", func(uint64) float64 { return float64(h.nicMask.Count()) })
+}
 
 // Flow returns a snapshot of cumulative line-movement counters.
 func (h *Hierarchy) Flow() FlowStats { return h.flow }

@@ -11,8 +11,11 @@
 package cpu
 
 import (
+	"fmt"
+
 	"sweeper/internal/addr"
 	"sweeper/internal/nic"
+	"sweeper/internal/obs"
 	"sweeper/internal/sim"
 	"sweeper/internal/workload"
 )
@@ -175,6 +178,12 @@ func (c *Core) Served() uint64 { return c.served }
 
 // Idle reports whether the core is waiting for packets.
 func (c *Core) Idle() bool { return c.idle }
+
+// RegisterMetrics exposes the core's served-request counter to the
+// observability registry.
+func (c *Core) RegisterMetrics(r *obs.Registry) {
+	r.Counter(fmt.Sprintf("cpu.core%02d.served", c.id), func() uint64 { return c.served })
+}
 
 // Start begins polling shortly after the current cycle, staggered by core
 // id so identical cores do not run in lockstep (lockstepped cores hammer
@@ -373,6 +382,12 @@ func (x *XMemCore) Accesses() uint64 { return x.accesses }
 
 // Stream returns the underlying access stream.
 func (x *XMemCore) Stream() workload.Stream { return x.stream }
+
+// RegisterMetrics exposes the tenant core's access counter to the
+// observability registry.
+func (x *XMemCore) RegisterMetrics(r *obs.Registry) {
+	r.Counter(fmt.Sprintf("cpu.xmem%02d.accesses", x.id), func() uint64 { return x.accesses })
+}
 
 // OnEvent implements sim.Sink.
 func (x *XMemCore) OnEvent(now sim.Cycle, _ uint64) { x.step(now) }

@@ -259,6 +259,31 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+// TestTableCSVMissingExtra: cells lacking an Extra key present elsewhere in
+// the table must emit an empty field, not a fake 0.0000.
+func TestTableCSVMissingExtra(t *testing.T) {
+	tbl := Table{ID: "figY"}
+	full := Cell{Param: "p1", Config: "c"}.WithExtra("aaa", 1).WithExtra("zzz", 2)
+	partial := Cell{Param: "p2", Config: "c"}.WithExtra("zzz", 3)
+	tbl.Cells = append(tbl.Cells, full, partial)
+
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasSuffix(lines[1], "1.0000,2.0000") {
+		t.Fatalf("full row %q", lines[1])
+	}
+	// aaa is missing from the second cell: empty field, then zzz.
+	if !strings.HasSuffix(lines[2], ",,3.0000") {
+		t.Fatalf("partial row %q (want empty aaa field)", lines[2])
+	}
+}
+
 func TestCellFromResults(t *testing.T) {
 	var r machine.Results
 	r.ThroughputMrps = 7

@@ -210,7 +210,14 @@ func (t *Table) WriteCSV(w io.Writer) error {
 			row = append(row, fmt.Sprintf("%.4f", c.Breakdown[k]))
 		}
 		for _, e := range extras {
-			row = append(row, fmt.Sprintf("%.4f", c.Extra[e]))
+			// A missing key is "metric absent", not a measured zero:
+			// emit an empty field so downstream tooling can tell them
+			// apart.
+			if v, ok := c.Extra[e]; ok {
+				row = append(row, fmt.Sprintf("%.4f", v))
+			} else {
+				row = append(row, "")
+			}
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err

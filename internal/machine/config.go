@@ -102,6 +102,13 @@ type Config struct {
 	// Table I OoO cores).
 	MLPWidth int
 
+	// ObsSampleCycles, when positive, arms the observability sampler for
+	// every Run of this configuration: registered metrics are snapshotted
+	// each ObsSampleCycles simulated cycles into a time-series retrievable
+	// via ObsSeries/BuildManifest. Zero leaves sampling off unless
+	// EnableSampling is called explicitly.
+	ObsSampleCycles uint64
+
 	// WarmLLC pre-fills the LLC with dirty application data (KVS log
 	// lines) so short measurement windows see steady-state eviction
 	// behaviour instead of a cold 36MB cache slowly filling. Only

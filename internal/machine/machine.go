@@ -10,6 +10,7 @@ import (
 	"sweeper/internal/cpu"
 	"sweeper/internal/mem"
 	"sweeper/internal/nic"
+	"sweeper/internal/obs"
 	"sweeper/internal/sim"
 	"sweeper/internal/stats"
 	"sweeper/internal/workload"
@@ -51,6 +52,15 @@ type Machine struct {
 
 	measuring bool
 	ran       bool
+
+	// Observability (internal/obs): the lazily built metric registry, the
+	// optional periodic sampler, and the windows of the last Run (recorded
+	// for manifests). All zero until EnableSampling or Metrics is called.
+	metrics                 *obs.Registry
+	sampler                 *obs.Sampler
+	obsOn                   bool
+	obsEvery                uint64
+	lastWarmup, lastMeasure uint64
 }
 
 // New assembles a machine from cfg.
@@ -92,6 +102,10 @@ func New(cfg Config) (*Machine, error) {
 // streams and the traffic generator. New and Reset share it verbatim, which
 // is what guarantees a pooled machine is configured exactly like a fresh one.
 func (m *Machine) configure(cfg Config) error {
+	// Reconfiguration may replace cores and generators, so any previously
+	// built registry holds stale closures; drop it for lazy rebuild.
+	m.metrics = nil
+
 	m.dp.configure(cfg)
 
 	if cfg.NeBuLaDropDepth > 0 {
@@ -245,6 +259,8 @@ func (m *Machine) Reset(cfg Config) error {
 
 	m.served, m.svcSum, m.svcCount = 0, 0, 0
 	m.measuring, m.ran = false, false
+	m.sampler, m.obsOn, m.obsEvery = nil, false, 0
+	m.lastWarmup, m.lastMeasure = 0, 0
 
 	return m.configure(cfg)
 }

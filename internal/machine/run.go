@@ -5,6 +5,7 @@ import (
 
 	"sweeper/internal/core"
 	"sweeper/internal/nic"
+	"sweeper/internal/obs"
 	"sweeper/internal/stats"
 )
 
@@ -138,6 +139,11 @@ func (m *Machine) Run(warmup, measure uint64) Results {
 		panic("machine: measurement window must be positive")
 	}
 	m.ran = true
+	m.lastWarmup, m.lastMeasure = warmup, measure
+	if m.obsOn || m.cfg.ObsSampleCycles > 0 {
+		m.sampler = obs.NewSampler(m.eng, m.Metrics(), m.sampleCadence(warmup+measure))
+		m.sampler.Start()
+	}
 	m.start()
 	m.eng.RunUntil(warmup)
 
@@ -151,6 +157,16 @@ func (m *Machine) Run(warmup, measure uint64) Results {
 	m.eng.RunUntil(warmup + measure)
 	m.measuring = false
 	m.dp.measuring = false
+	if m.sampler != nil {
+		m.sampler.Finish(m.eng.Now())
+	}
+	if obs.ProbesEnabled {
+		// End-of-run structural check: set mapping and tag uniqueness
+		// across every cache level.
+		if err := m.dp.hier.CheckInvariants(); err != nil {
+			obs.Failf("machine: cache hierarchy inconsistent after run: %v", err)
+		}
+	}
 	return m.collect(snap, measure)
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"sweeper/internal/fastdiv"
+	"sweeper/internal/obs"
 )
 
 // Timing holds DDR4 timing parameters in DRAM clock cycles.
@@ -255,6 +256,10 @@ func (m *DDR4) read(now uint64, a uint64) uint64 {
 	ch, bk, row := m.mapAddr(a)
 	c := &m.channels[ch]
 	b := &c.banks[bk]
+	var probeBus, probeReady uint64
+	if obs.ProbesEnabled {
+		probeBus, probeReady = c.busFreeAt, b.readyAt
+	}
 	m.refresh(c, now)
 	m.drainIdle(c, now)
 
@@ -300,6 +305,19 @@ func (m *DDR4) read(now uint64, a uint64) uint64 {
 	// backlogged) bus slot would compound bus queueing with bank latency
 	// on every row miss and ratchet the backlog upward forever.
 	b.readyAt = casAt + m.tCCD
+	if obs.ProbesEnabled {
+		// The channel bus clock and per-bank command clock only ever
+		// advance; a regression here means timing state went backwards
+		// and queuing delays are being under-charged.
+		if c.busFreeAt < probeBus {
+			obs.Failf("mem: ch%d busFreeAt regressed %d -> %d (read at %d)",
+				ch, probeBus, c.busFreeAt, now)
+		}
+		if b.readyAt < probeReady {
+			obs.Failf("mem: ch%d bank%d readyAt regressed %d -> %d (read at %d)",
+				ch, bk, probeReady, b.readyAt, now)
+		}
+	}
 	return done
 }
 
@@ -320,6 +338,10 @@ func (m *DDR4) Write(now uint64, a uint64) (done uint64) {
 	m.writes++
 	ch, _, _ := m.mapAddr(a)
 	c := &m.channels[ch]
+	var probeBus uint64
+	if obs.ProbesEnabled {
+		probeBus = c.busFreeAt
+	}
 	m.refresh(c, now)
 	m.drainIdle(c, now)
 	c.pendingWrites++
@@ -338,10 +360,43 @@ func (m *DDR4) Write(now uint64, a uint64) (done uint64) {
 		c.busFreeAt = base + excess*m.tBL
 		c.pendingWrites = cap
 	}
+	if obs.ProbesEnabled && c.busFreeAt < probeBus {
+		obs.Failf("mem: ch%d busFreeAt regressed %d -> %d (write at %d)",
+			ch, probeBus, c.busFreeAt, now)
+	}
 	if c.busFreeAt > now {
 		return c.busFreeAt
 	}
 	return now + m.tBL
+}
+
+// RegisterMetrics exposes the model's transaction counters and controller
+// queue state to the observability registry. Bus utilization over a sample
+// interval is the delta of mem.bus_busy_cycles divided by interval length
+// times channel count.
+func (m *DDR4) RegisterMetrics(r *obs.Registry) {
+	r.Counter("mem.reads", func() uint64 { return m.reads })
+	r.Counter("mem.writes", func() uint64 { return m.writes })
+	r.Counter("mem.refreshes", func() uint64 { return m.refreshes })
+	r.Counter("mem.bus_busy_cycles", func() uint64 {
+		return (m.reads+m.writes)*m.tBL + m.refreshes*m.tRFC
+	})
+	r.Gauge("mem.write_queue_depth", func(uint64) float64 {
+		var d uint64
+		for i := range m.channels {
+			d += m.channels[i].pendingWrites
+		}
+		return float64(d)
+	})
+	r.Gauge("mem.bus_backlog_cycles", func(now uint64) float64 {
+		var worst uint64
+		for i := range m.channels {
+			if free := m.channels[i].busFreeAt; free > now && free-now > worst {
+				worst = free - now
+			}
+		}
+		return float64(worst)
+	})
 }
 
 // Refreshes returns the number of all-bank refreshes performed.

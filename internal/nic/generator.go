@@ -3,6 +3,7 @@ package nic
 import (
 	"math/rand"
 
+	"sweeper/internal/obs"
 	"sweeper/internal/sim"
 )
 
@@ -81,6 +82,11 @@ func (g *PoissonGen) Offered() uint64 { return g.offered }
 
 // ResetCounters zeroes the offered-load counter.
 func (g *PoissonGen) ResetCounters() { g.offered = 0 }
+
+// RegisterMetrics exposes the generator's offered-load counter.
+func (g *PoissonGen) RegisterMetrics(r *obs.Registry) {
+	r.Counter("gen.offered", func() uint64 { return g.offered })
+}
 
 // OnEvent implements sim.Sink.
 func (g *PoissonGen) OnEvent(now sim.Cycle, _ uint64) { g.arrive(now) }
@@ -185,3 +191,9 @@ func (g *ClosedLoopGen) Refill(now uint64, core int) {
 
 // Depth returns the maintained per-core queue depth.
 func (g *ClosedLoopGen) Depth() int { return g.depth }
+
+// RegisterMetrics exposes the maintained queue depth (constant by
+// construction, but recorded so manifests are self-describing).
+func (g *ClosedLoopGen) RegisterMetrics(r *obs.Registry) {
+	r.Gauge("gen.depth", func(uint64) float64 { return float64(g.depth) })
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sweeper/internal/addr"
+	"sweeper/internal/obs"
 )
 
 // Mode selects the packet injection policy (§III baselines).
@@ -281,6 +282,26 @@ func (n *NIC) TotalQueued() int {
 		q += r.Queued()
 	}
 	return q
+}
+
+// RegisterMetrics exposes the NIC's injection/transmit counters, aggregate
+// queue state and per-ring occupancy to the observability registry.
+func (n *NIC) RegisterMetrics(r *obs.Registry) {
+	r.Counter("nic.injected", func() uint64 { return n.injected })
+	r.Counter("nic.dropped", n.Dropped)
+	r.Counter("nic.tx_packets", func() uint64 { return n.txPackets })
+	r.Counter("nic.tx_lines", func() uint64 { return n.txLines })
+	r.Gauge("nic.queued", func(uint64) float64 { return float64(n.TotalQueued()) })
+	r.Gauge("nic.ring_occupancy", func(uint64) float64 {
+		var u int
+		for _, rg := range n.rings {
+			u += rg.InUse()
+		}
+		return float64(u)
+	})
+	for i, rg := range n.rings {
+		rg.RegisterMetrics(r, fmt.Sprintf("nic.ring%02d.occupancy", i))
+	}
 }
 
 // ResetCounters zeroes per-window counters on the NIC and its rings.

@@ -6,7 +6,11 @@
 // Poisson arrivals and the keep-D-queued closed loop of §IV-B).
 package nic
 
-import "fmt"
+import (
+	"fmt"
+
+	"sweeper/internal/obs"
+)
 
 // Packet is one received request occupying a ring slot.
 type Packet struct {
@@ -110,6 +114,17 @@ func (r *Ring) Reset() {
 	r.enqueued, r.dropped = 0, 0
 }
 
+// checkConservation is the debug slot-conservation probe: slots held by the
+// datapath (inUse) never exceed the ring, and queued packets never exceed
+// held slots (a packet's slot is reserved before Enqueue and freed only
+// after Pop).
+func (r *Ring) checkConservation(op string) {
+	if r.inUse < 0 || r.inUse > r.nSlots || r.countQ < 0 || r.countQ > r.inUse {
+		obs.Failf("nic: ring %d slot conservation violated after %s: inUse=%d queued=%d slots=%d",
+			r.core, op, r.inUse, r.countQ, r.nSlots)
+	}
+}
+
 // Reserve claims the next free slot for an incoming packet, returning the
 // slot index, or false if the ring is full (the arrival is dropped by the
 // caller).
@@ -121,6 +136,9 @@ func (r *Ring) Reserve() (int, bool) {
 	s := r.nextSlot
 	r.nextSlot = (r.nextSlot + 1) % r.nSlots
 	r.inUse++
+	if obs.ProbesEnabled {
+		r.checkConservation("Reserve")
+	}
 	return s, true
 }
 
@@ -132,6 +150,9 @@ func (r *Ring) Enqueue(p Packet) {
 	r.pkts[(r.headQ+r.countQ)%r.nSlots] = p
 	r.countQ++
 	r.enqueued++
+	if obs.ProbesEnabled {
+		r.checkConservation("Enqueue")
+	}
 }
 
 // Pop removes the oldest unconsumed packet, or reports false when none is
@@ -143,6 +164,9 @@ func (r *Ring) Pop() (Packet, bool) {
 	p := r.pkts[r.headQ]
 	r.headQ = (r.headQ + 1) % r.nSlots
 	r.countQ--
+	if obs.ProbesEnabled {
+		r.checkConservation("Pop")
+	}
 	return p, true
 }
 
@@ -153,4 +177,13 @@ func (r *Ring) Free() {
 		panic(fmt.Sprintf("nic: ring %d free without reserve", r.core))
 	}
 	r.inUse--
+	if obs.ProbesEnabled {
+		r.checkConservation("Free")
+	}
+}
+
+// RegisterMetrics exposes the ring's occupancy to the observability
+// registry under the given metric name.
+func (r *Ring) RegisterMetrics(reg *obs.Registry, name string) {
+	reg.Gauge(name, func(uint64) float64 { return float64(r.inUse) })
 }

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sweeper/internal/sim"
+	"sweeper/internal/stats"
+)
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", func() uint64 { return 0 })
+	mustPanic(t, "duplicate counter", func() {
+		r.Counter("a", func() uint64 { return 0 })
+	})
+	mustPanic(t, "duplicate across kinds", func() {
+		r.Gauge("a", func(uint64) float64 { return 0 })
+	})
+	mustPanic(t, "empty name", func() {
+		r.Counter("", func() uint64 { return 0 })
+	})
+	h := stats.NewHistogram(4, 16)
+	r.Histogram("h", h)
+	mustPanic(t, "duplicate histogram", func() {
+		r.Histogram("h", h)
+	})
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegistryOrderAndFinal(t *testing.T) {
+	r := NewRegistry()
+	var n uint64 = 41
+	r.Counter("first", func() uint64 { return n })
+	r.Gauge("second", func(now uint64) float64 { return float64(now) * 2 })
+	if got := r.Names(); got[0] != "first" || got[1] != "second" {
+		t.Fatalf("Names order = %v", got)
+	}
+	if got := r.Kinds(); got[0] != KindCounter || got[1] != KindGauge {
+		t.Fatalf("Kinds = %v", got)
+	}
+	n = 42
+	fin := r.Final(10)
+	if fin["first"] != 42 || fin["second"] != 20 {
+		t.Fatalf("Final = %v", fin)
+	}
+}
+
+// TestSamplerCoversRun drives a sampler off a real engine: samples must land
+// at cycle 0, every cadence, and at Finish time, with counter values read
+// live at each sample.
+func TestSamplerCoversRun(t *testing.T) {
+	eng := sim.NewEngine()
+	var count uint64
+	r := NewRegistry()
+	r.Counter("ticks", func() uint64 { return count })
+
+	// A source event every 7 cycles bumps the counter.
+	src := sinkFunc(func(now sim.Cycle, _ uint64) { count++ })
+	for c := uint64(7); c <= 100; c += 7 {
+		eng.ScheduleAfter(sim.Cycle(c), src, 0)
+	}
+
+	sp := NewSampler(eng, r, 25)
+	sp.Start()
+	eng.RunUntil(100)
+	sp.Finish(eng.Now())
+
+	s := sp.Series()
+	wantCycles := []uint64{0, 25, 50, 75, 100}
+	if len(s.Cycles) != len(wantCycles) {
+		t.Fatalf("cycles = %v, want %v", s.Cycles, wantCycles)
+	}
+	for i, c := range wantCycles {
+		if s.Cycles[i] != c {
+			t.Fatalf("cycles = %v, want %v", s.Cycles, wantCycles)
+		}
+	}
+	// At cycle 25 the 7/14/21-cycle events have fired; at 100 all 14 have.
+	if s.Rows[1][0] != 3 {
+		t.Errorf("sample at cycle 25 = %g, want 3", s.Rows[1][0])
+	}
+	if s.Rows[4][0] != 14 {
+		t.Errorf("sample at cycle 100 = %g, want 14", s.Rows[4][0])
+	}
+}
+
+// TestSamplerFinishIdempotent checks Finish neither duplicates the terminal
+// sample nor keeps sampling after it.
+func TestSamplerFinishIdempotent(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRegistry()
+	r.Counter("c", func() uint64 { return 0 })
+	sp := NewSampler(eng, r, 10)
+	sp.Start()
+	eng.RunUntil(10)
+	sp.Finish(10)
+	sp.Finish(10)
+	eng.RunUntil(50) // pending reschedule fires once, must be a no-op
+	if got := len(sp.Series().Cycles); got != 2 {
+		t.Fatalf("samples = %d (%v), want 2", got, sp.Series().Cycles)
+	}
+}
+
+type sinkFunc func(now sim.Cycle, arg uint64)
+
+func (f sinkFunc) OnEvent(now sim.Cycle, arg uint64) { f(now, arg) }
+
+func testSeries() *Series {
+	return &Series{
+		Names:  []string{"cnt", "g"},
+		Kinds:  []Kind{KindCounter, KindGauge},
+		Cycles: []uint64{0, 10, 20},
+		Rows:   [][]float64{{5, 1.5}, {8, 2.5}, {8, 0.5}},
+	}
+}
+
+func TestWriteSeriesCSVDeltas(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, testSeries()); err != nil {
+		t.Fatal(err)
+	}
+	want := "cycle,cnt,g\n0,5,1.5\n10,3,2.5\n20,0,0.5\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteChromeTraceParses(t *testing.T) {
+	var b strings.Builder
+	err := WriteChromeTrace(&b, testSeries(), TraceMeta{Process: "test", FreqHz: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &tf); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	// 1 metadata event + 3 samples x 2 metrics.
+	if len(tf.TraceEvents) != 7 {
+		t.Fatalf("events = %d, want 7", len(tf.TraceEvents))
+	}
+	if tf.TraceEvents[0].Ph != "M" || tf.TraceEvents[0].Args["name"] != "test" {
+		t.Errorf("first event not process_name metadata: %+v", tf.TraceEvents[0])
+	}
+	// Counter track is differenced: second sample of "cnt" reads 3.
+	var cntDeltas []float64
+	for _, e := range tf.TraceEvents[1:] {
+		if e.Ph != "C" {
+			t.Fatalf("non-counter event %+v", e)
+		}
+		if e.Name == "cnt" {
+			cntDeltas = append(cntDeltas, e.Args["value"].(float64))
+		}
+	}
+	if len(cntDeltas) != 3 || cntDeltas[1] != 3 || cntDeltas[2] != 0 {
+		t.Errorf("cnt deltas = %v, want [5 3 0]", cntDeltas)
+	}
+	// FreqHz 1e6 makes 10 cycles == 10 us.
+	if tf.TraceEvents[3].Ts != 10 {
+		t.Errorf("ts of second sample = %g, want 10", tf.TraceEvents[3].Ts)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	man := &Manifest{
+		Label:        "unit",
+		WarmupCycles: 100,
+		MeasureCyc:   200,
+		SampleEvery:  10,
+		Config:       map[string]any{"Cores": 24},
+		Results:      map[string]any{"Mrps": 30.5},
+		Metrics:      map[string]float64{"mem.reads": 9},
+		Histograms: []HistogramSummary{
+			{Name: "req.latency", Count: 3, Mean: 5, Min: 1, Max: 9, P50: 5, P99: 9},
+		},
+		Series: testSeries(),
+	}
+	var b strings.Builder
+	if err := WriteManifest(&b, man); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	for _, key := range []string{"label", "warmup_cycles", "measure_cycles",
+		"sample_every_cycles", "config", "results", "metrics", "histograms", "series"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("manifest missing %q", key)
+		}
+	}
+	kinds := got["series"].(map[string]any)["kinds"].([]any)
+	if kinds[0] != "counter" || kinds[1] != "gauge" {
+		t.Errorf("kinds marshalled as %v, want names", kinds)
+	}
+}

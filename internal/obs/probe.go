@@ -1,0 +1,10 @@
+package obs
+
+import "fmt"
+
+// Failf reports a violated invariant probe. Probes guard simulator-internal
+// consistency (not user input), so a firing probe is always a simulator bug
+// and panics immediately with the formatted diagnosis.
+func Failf(format string, args ...any) {
+	panic("obs: invariant probe failed: " + fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,10 @@
+//go:build !sweeperdebug
+
+package obs
+
+// ProbesEnabled gates the debug invariant probes compiled into the hot
+// paths (ring slot conservation, DRAM clock monotonicity, cache-mask
+// bounds). It is a constant so that, in normal builds, every guarded check
+// is dead code the compiler eliminates entirely. Build with
+// -tags sweeperdebug to turn the probes on.
+const ProbesEnabled = false

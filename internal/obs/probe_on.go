@@ -1,0 +1,7 @@
+//go:build sweeperdebug
+
+package obs
+
+// ProbesEnabled: the sweeperdebug build tag compiles the invariant probes
+// in; see probe_off.go for the normal-build constant.
+const ProbesEnabled = true

@@ -202,6 +202,8 @@ func applyKnob(cfg *machine.Config, knob string, v float64) error {
 		cfg.Seed = int64(v)
 	case "dynamic_ddio_epoch":
 		cfg.DynamicDDIOEpoch = uint64(v)
+	case "obs_sample_cycles":
+		cfg.ObsSampleCycles = uint64(v)
 	case "nebula_drop_depth":
 		cfg.NeBuLaDropDepth = int(v)
 	case "partition_split":

@@ -8,8 +8,9 @@ import (
 
 // Histogram records a distribution of latencies (in cycles) using fixed-width
 // bins up to a cap, with an overflow bin for larger samples. Percentiles are
-// exact to bin width; the overflow bin tracks its own mean so tail estimates
-// stay sane under saturation.
+// exact to bin width; the overflow bin tracks its own min, max and mean so
+// tail quantiles stay distinct and monotonic under saturation instead of
+// collapsing to a single estimate.
 type Histogram struct {
 	binWidth     uint64
 	bins         []uint64
@@ -19,6 +20,7 @@ type Histogram struct {
 	min          uint64
 	overflow     uint64
 	overflowSum  uint64
+	overflowMin  uint64
 	overflowBase uint64
 }
 
@@ -36,6 +38,7 @@ func NewHistogram(binWidth uint64, numBins int) *Histogram {
 		binWidth:     binWidth,
 		bins:         make([]uint64, numBins),
 		min:          math.MaxUint64,
+		overflowMin:  math.MaxUint64,
 		overflowBase: binWidth * uint64(numBins),
 	}
 }
@@ -54,6 +57,9 @@ func (h *Histogram) Record(v uint64) {
 	if idx >= uint64(len(h.bins)) {
 		h.overflow++
 		h.overflowSum += v
+		if v < h.overflowMin {
+			h.overflowMin = v
+		}
 		return
 	}
 	h.bins[idx]++
@@ -87,8 +93,10 @@ func (h *Histogram) Min() uint64 {
 }
 
 // Percentile returns the value at quantile q in [0,1], estimated at the upper
-// edge of the containing bin. For samples in the overflow bin it returns the
-// overflow mean (or max for q == 1).
+// edge of the containing bin. Quantiles landing in the overflow bin are
+// interpolated between the overflow min and max (anchored at the overflow
+// mean), so p99, p99.9 and p99.99 stay distinct and monotonic even when the
+// tail saturates the binned range.
 func (h *Histogram) Percentile(q float64) uint64 {
 	if h.count == 0 {
 		return 0
@@ -111,16 +119,33 @@ func (h *Histogram) Percentile(q float64) uint64 {
 		}
 	}
 	if h.overflow > 0 {
-		return h.overflowMean()
+		// Rank within the overflow region, as a fraction in (0,1].
+		return h.overflowQuantile(float64(target-cum) / float64(h.overflow))
 	}
 	return h.max
 }
 
-func (h *Histogram) overflowMean() uint64 {
-	if h.overflow == 0 {
-		return h.overflowBase
+// overflowQuantile estimates the value at fraction p in (0,1] of the overflow
+// mass. The overflow bin tracks only min, max and mean, so the distribution
+// is modelled as two uniform pieces joined at the mean, with the piece masses
+// chosen so the model's mean equals the tracked mean: mass f = (max-mean) /
+// (max-min) on [min,mean] and 1-f on [mean,max]. The estimate is monotone in
+// p, spans [min,max], and skews toward max exactly when the tail is heavy.
+func (h *Histogram) overflowQuantile(p float64) uint64 {
+	lo, hi := h.overflowMin, h.max
+	if hi <= lo {
+		return lo
 	}
-	return h.overflowSum / h.overflow
+	mean := float64(h.overflowSum) / float64(h.overflow)
+	f := (float64(hi) - mean) / float64(hi-lo)
+	switch {
+	case f >= 1: // mean == min: all mass at the low edge
+		return lo
+	case p <= f && f > 0:
+		return lo + uint64(math.Round((mean-float64(lo))*(p/f)))
+	default: // f in [0,1), p > f
+		return uint64(math.Round(mean + (float64(hi)-mean)*(p-f)/(1-f)))
+	}
 }
 
 // Reset clears all recorded samples.
@@ -130,6 +155,7 @@ func (h *Histogram) Reset() {
 	}
 	h.count, h.sum, h.max, h.overflow, h.overflowSum = 0, 0, 0, 0, 0
 	h.min = math.MaxUint64
+	h.overflowMin = math.MaxUint64
 }
 
 // CDFPoint is one (latency, cumulative fraction) sample of a distribution.
@@ -139,7 +165,10 @@ type CDFPoint struct {
 }
 
 // CDF returns the cumulative distribution as (bin upper edge, fraction)
-// points, including only non-empty bins, terminated by the overflow mass.
+// points, including only non-empty bins. Overflow mass contributes two
+// points: the crossing into the overflow region at its base and the
+// terminating max, so the tail renders as a span rather than a fake
+// vertical cliff at the maximum.
 func (h *Histogram) CDF() []CDFPoint {
 	if h.count == 0 {
 		return nil
@@ -157,6 +186,12 @@ func (h *Histogram) CDF() []CDFPoint {
 		})
 	}
 	if h.overflow > 0 {
+		if base := h.overflowBase; len(pts) == 0 || pts[len(pts)-1].Value < base {
+			pts = append(pts, CDFPoint{
+				Value:    base,
+				Fraction: float64(cum) / float64(h.count),
+			})
+		}
 		pts = append(pts, CDFPoint{Value: h.max, Fraction: 1.0})
 	}
 	return pts

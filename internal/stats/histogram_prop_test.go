@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// histCase is one randomized histogram scenario: a bin geometry plus a sample
+// mix with a controlled overflow fraction (possibly 0 or 1).
+type histCase struct {
+	binWidth uint64
+	numBins  int
+	samples  []uint64
+}
+
+// genCase derives a scenario from fuzzed inputs. overFrac16 selects the
+// overflow fraction in [0,1] with both degenerate ends reachable.
+func genCase(seed int64, binW uint8, bins uint8, n uint16, overFrac16 uint16) histCase {
+	rng := rand.New(rand.NewSource(seed))
+	c := histCase{
+		binWidth: uint64(binW)%64 + 1,
+		numBins:  int(bins)%256 + 1,
+	}
+	total := int(n)%2000 + 1
+	overFrac := float64(overFrac16) / math.MaxUint16
+	binnedMax := c.binWidth * uint64(c.numBins) // == overflowBase
+	for i := 0; i < total; i++ {
+		if rng.Float64() < overFrac {
+			// Overflow sample: at or beyond the base, spread heavily.
+			c.samples = append(c.samples, binnedMax+uint64(rng.ExpFloat64()*float64(binnedMax+1)))
+		} else {
+			c.samples = append(c.samples, uint64(rng.Int63n(int64(binnedMax))))
+		}
+	}
+	return c
+}
+
+// TestHistogramPercentileVsExactProperty checks Percentile against the exact
+// sample quantile over random bin widths, bin counts and overflow fractions,
+// including the all-overflow degenerate case. Binned quantiles must be exact
+// to one bin width; overflow quantiles must stay inside the true overflow
+// sample range and be monotone in q.
+func TestHistogramPercentileVsExactProperty(t *testing.T) {
+	f := func(seed int64, binW, bins uint8, n, overFrac16 uint16) bool {
+		c := genCase(seed, binW, bins, n, overFrac16)
+		h := NewHistogram(c.binWidth, c.numBins)
+		base := c.binWidth * uint64(c.numBins)
+		var overMin, overMax uint64 = math.MaxUint64, 0
+		for _, v := range c.samples {
+			h.Record(v)
+			if v >= base {
+				if v < overMin {
+					overMin = v
+				}
+				if v > overMax {
+					overMax = v
+				}
+			}
+		}
+		qs := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+		prev := uint64(0)
+		for _, q := range qs {
+			exact := ExactPercentile(c.samples, q)
+			got := h.Percentile(q)
+			if got < prev {
+				t.Logf("q=%g: non-monotone %d after %d", q, got, prev)
+				return false
+			}
+			prev = got
+			if exact < base {
+				// Binned region: exact to one bin width.
+				if got+c.binWidth < exact || got > exact+c.binWidth {
+					t.Logf("q=%g: binned %d vs exact %d (width %d)", q, got, exact, c.binWidth)
+					return false
+				}
+			} else {
+				// Overflow region: the interpolation must stay inside
+				// the true overflow sample range.
+				if got < overMin || got > overMax {
+					t.Logf("q=%g: overflow %d outside [%d,%d]", q, got, overMin, overMax)
+					return false
+				}
+			}
+		}
+		if h.Percentile(1) != ExactPercentile(c.samples, 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramCDFVsExactProperty checks CDF structure over the same random
+// scenarios: monotone in value and fraction, terminating at fraction 1, each
+// point's fraction matching the exact empirical CDF at its value, and the
+// overflow region entered through a crossing point at overflowBase.
+func TestHistogramCDFVsExactProperty(t *testing.T) {
+	f := func(seed int64, binW, bins uint8, n, overFrac16 uint16) bool {
+		c := genCase(seed, binW, bins, n, overFrac16)
+		h := NewHistogram(c.binWidth, c.numBins)
+		base := c.binWidth * uint64(c.numBins)
+		var overflow int
+		for _, v := range c.samples {
+			h.Record(v)
+			if v >= base {
+				overflow++
+			}
+		}
+		cdf := h.CDF()
+		if len(cdf) == 0 {
+			return false
+		}
+		prevV, prevF := uint64(0), -1.0
+		for _, p := range cdf {
+			if p.Value < prevV || p.Fraction < prevF {
+				t.Logf("non-monotone CDF at %+v", p)
+				return false
+			}
+			prevV, prevF = p.Value, p.Fraction
+		}
+		if last := cdf[len(cdf)-1]; last.Fraction != 1.0 {
+			return false
+		}
+		if overflow > 0 {
+			// The crossing into the overflow region must be explicit:
+			// some point at overflowBase carrying exactly the binned
+			// mass fraction.
+			wantFrac := float64(len(c.samples)-overflow) / float64(len(c.samples))
+			found := false
+			for _, p := range cdf {
+				if p.Value == base && math.Abs(p.Fraction-wantFrac) < 1e-12 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Logf("missing overflowBase crossing at %d (want frac %g): %+v", base, wantFrac, cdf)
+				return false
+			}
+			if cdf[len(cdf)-1].Value != h.Max() {
+				return false
+			}
+		}
+		// Every emitted fraction must match the exact empirical CDF at
+		// its value (bin edges are inclusive upper bounds).
+		for _, p := range cdf {
+			var le int
+			for _, v := range c.samples {
+				if v <= p.Value {
+					le++
+				}
+			}
+			exact := float64(le) / float64(len(c.samples))
+			if p.Fraction > exact+1e-12 {
+				t.Logf("CDF overshoots empirical at %+v (exact %g)", p, exact)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramAllOverflow pins the fully degenerate case: every sample in
+// the overflow bin.
+func TestHistogramAllOverflow(t *testing.T) {
+	h := NewHistogram(2, 8) // binned range [0,16)
+	samples := []uint64{20, 30, 40, 1000}
+	for _, v := range samples {
+		h.Record(v)
+	}
+	if p := h.Percentile(0.25); p < 20 || p > 1000 {
+		t.Fatalf("p25 = %d outside overflow range", p)
+	}
+	if h.Percentile(1) != 1000 {
+		t.Fatal("p100 must be the max")
+	}
+	prev := uint64(0)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		p := h.Percentile(q)
+		if p < prev {
+			t.Fatalf("non-monotone at q=%g", q)
+		}
+		prev = p
+	}
+	cdf := h.CDF()
+	if len(cdf) != 2 {
+		t.Fatalf("all-overflow CDF = %+v, want base crossing + max", cdf)
+	}
+	if cdf[0].Value != 16 || cdf[0].Fraction != 0 {
+		t.Fatalf("crossing = %+v, want {16 0}", cdf[0])
+	}
+	if cdf[1].Value != 1000 || cdf[1].Fraction != 1 {
+		t.Fatalf("terminal = %+v, want {1000 1}", cdf[1])
+	}
+}

@@ -133,10 +133,50 @@ func TestHistogramOverflow(t *testing.T) {
 	if p := h.Percentile(1); p != 1_000_000 {
 		t.Fatalf("P100 = %d", p)
 	}
-	// P99 of two samples lands in overflow; the overflow mean keeps the
-	// estimate sane.
+	// P99 of two samples lands in overflow; with a single overflow sample
+	// the interpolation degenerates to that sample's value.
 	if p := h.Percentile(0.99); p != 1_000_000 {
-		t.Fatalf("P99 = %d, want overflow mean 1000000", p)
+		t.Fatalf("P99 = %d, want overflow sample 1000000", p)
+	}
+}
+
+// TestHistogramTailQuantilesDistinct is the regression test for the overflow
+// collapse bug: with >1% of samples in the overflow bin, every tail quantile
+// used to come back as the overflow mean, making p99, p99.9 and p99.99
+// indistinguishable. Interpolating within the overflow region must keep them
+// distinct, monotone, and close to the exact sample quantiles.
+func TestHistogramTailQuantilesDistinct(t *testing.T) {
+	h := NewHistogram(4, 1024) // binned range [0, 4096)
+	rng := rand.New(rand.NewSource(7))
+	var samples []uint64
+	record := func(v uint64) {
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	// Body: 95% of mass well inside the binned range.
+	for i := 0; i < 95_000; i++ {
+		record(uint64(rng.Intn(3000)))
+	}
+	// Heavy tail: 5% saturates the overflow bin, Pareto-ish spread.
+	for i := 0; i < 5_000; i++ {
+		record(5_000 + uint64(rng.ExpFloat64()*20_000))
+	}
+
+	p99 := h.Percentile(0.99)
+	p999 := h.Percentile(0.999)
+	p9999 := h.Percentile(0.9999)
+	if p99 >= p999 || p999 >= p9999 {
+		t.Fatalf("tail quantiles collapsed: p99=%d p99.9=%d p99.99=%d", p99, p999, p9999)
+	}
+	for _, tc := range []struct {
+		q   float64
+		got uint64
+	}{{0.99, p99}, {0.999, p999}, {0.9999, p9999}} {
+		exact := ExactPercentile(samples, tc.q)
+		lo, hi := float64(exact)*0.5, float64(exact)*2
+		if float64(tc.got) < lo || float64(tc.got) > hi {
+			t.Errorf("q=%g: histogram %d vs exact %d (outside 2x band)", tc.q, tc.got, exact)
+		}
 	}
 }
 
