@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e check results obs-smoke test-debug
+.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e bench-parallel race-parallel check results obs-smoke test-debug
 
 all: check
 
@@ -46,9 +46,21 @@ bench-mem:
 
 # End-to-end single-run benchmark (whole machine, short windows).
 bench-e2e:
-	$(GO) test . -run=XXX -bench='BenchmarkRunOnce|BenchmarkSimulatedCyclesPerSecond' -benchtime=3x -benchmem
+	$(GO) test . -run=XXX -bench='BenchmarkRunOnce$$|BenchmarkRunOncePooled|BenchmarkSimulatedCyclesPerSecond' -benchtime=3x -benchmem
 
-bench: bench-engine bench-mem bench-e2e
+# Parallel-engine shard scaling: records simcyc/s at shards 1/2/4/8 to
+# BENCH_parallel.json (and cross-checks bit-identical results on the way).
+bench-parallel:
+	$(GO) run ./cmd/benchparallel -out BENCH_parallel.json
+
+# Race detection focused on the parallel engine's cross-shard paths, with
+# the invariant probes compiled in and the harvest pool forced on.
+race-parallel:
+	$(GO) test -race -tags sweeperdebug -timeout 20m \
+		./internal/sim/ ./internal/machine/ \
+		-run 'Parallel|Shard|Sharded|Lookahead|CancelDuringEpoch'
+
+bench: bench-engine bench-mem bench-e2e bench-parallel
 
 check: build vet lint test race bench-engine
 

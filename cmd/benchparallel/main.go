@@ -1,0 +1,130 @@
+// Command benchparallel records the parallel engine's shard-scaling curve:
+// it runs one fixed configuration (the Table I 24-core machine at moderate
+// load) at several engine shard counts, measures simulated cycles per wall
+// second for each, and writes the sweep as JSON.
+//
+//	benchparallel -out BENCH_parallel.json
+//
+// Because the sharded engine dispatches bit-identically to the sequential
+// one, the command also cross-checks that every shard count produced the
+// same request count — a scaling record that silently measured a divergent
+// simulation would be worthless.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"sweeper/internal/machine"
+)
+
+// point is one measured shard count.
+type point struct {
+	Shards    int     `json:"shards"`
+	Resolved  int     `json:"resolved_shards"`
+	WallSec   float64 `json:"wall_seconds"`
+	SimcycPS  float64 `json:"simcyc_per_sec"`
+	SpeedupX  float64 `json:"speedup_vs_shards1"`
+	Served    uint64  `json:"served"`
+	Identical bool    `json:"results_identical_to_shards1"`
+}
+
+type report struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	SimCores    int     `json:"simulated_cores"`
+	Warmup      uint64  `json:"warmup_cycles"`
+	Measure     uint64  `json:"measure_cycles"`
+	Reps        int     `json:"reps_per_point"`
+	Points      []point `json:"points"`
+	Note        string  `json:"note"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchparallel: ")
+
+	var (
+		out     = flag.String("out", "BENCH_parallel.json", "output JSON path")
+		warmup  = flag.Uint64("warmup", 1_000_000, "warmup cycles per run")
+		measure = flag.Uint64("measure", 2_000_000, "measurement cycles per run")
+		reps    = flag.Int("reps", 3, "timed repetitions per shard count (best is kept)")
+	)
+	flag.Parse()
+
+	base := machine.DefaultConfig()
+	base.OfferedMrps = 10
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		SimCores:    base.NetCores + base.XMemCores,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		Reps:        *reps,
+		Note: "Dispatch is serialized through the canonical (at,seq) merge " +
+			"(the machine's memory system is synchronous shared state); shards " +
+			"parallelize only queue maintenance, so scaling is modest by design. " +
+			"See DESIGN.md §11.",
+	}
+
+	var baseline machine.Results
+	var baselineRate float64
+	total := float64(*warmup + *measure)
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfg := base
+		cfg.Shards = shards
+		var best float64
+		var r machine.Results
+		var resolved int
+		for i := 0; i < *reps; i++ {
+			m := machine.MustNew(cfg)
+			resolved = m.Engine().NumShards()
+			start := time.Now()
+			r = m.Run(*warmup, *measure)
+			if sec := time.Since(start).Seconds(); best == 0 || sec < best {
+				best = sec
+			}
+		}
+		p := point{
+			Shards:   shards,
+			Resolved: resolved,
+			WallSec:  best,
+			SimcycPS: total / best,
+			Served:   r.Served,
+		}
+		if shards == 1 {
+			baseline, baselineRate = r, p.SimcycPS
+		}
+		p.SpeedupX = p.SimcycPS / baselineRate
+		p.Identical = reflect.DeepEqual(r, baseline)
+		if !p.Identical {
+			log.Fatalf("shards=%d diverged from shards=1: %+v vs %+v", shards, r, baseline)
+		}
+		rep.Points = append(rep.Points, p)
+		fmt.Printf("shards=%d (resolved %d): %.2f Msimcyc/s, %.2fx, %.2fs wall\n",
+			shards, resolved, p.SimcycPS/1e6, p.SpeedupX, best)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -36,6 +36,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "use the reduced-fidelity quick scale")
 		outDir     = flag.String("out", "", "directory for CSV output (optional)")
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = $SWEEPER_WORKERS, then GOMAXPROCS)")
+		shards     = flag.Int("shards", 0, "engine shards per run: 0/1 sequential, N>1 parallel wheels, -1 auto; the worker budget is divided by this")
 		manifest   = flag.String("manifest", "", "write an invocation manifest (scale + generated tables) as JSON to this file")
 		metricsOut = flag.String("metrics", "", "write a metric time-series CSV from an instrumented reference run to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON from an instrumented reference run to this file")
@@ -55,6 +56,7 @@ func main() {
 		sc = experiments.QuickScale()
 	}
 	sc.Parallelism = *parallel
+	sc.Shards = *shards
 
 	registry := experiments.Registry()
 	var ids []string

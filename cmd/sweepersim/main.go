@@ -53,6 +53,7 @@ func main() {
 		warmup       = flag.Uint64("warmup", 400_000, "warmup cycles")
 		measure      = flag.Uint64("measure", 800_000, "measurement cycles")
 		seed         = flag.Int64("seed", 1, "random seed")
+		shards       = flag.Int("shards", 0, "engine shards: 0/1 sequential, N>1 parallel wheels, -1 auto (min(cores+1, GOMAXPROCS))")
 		mlp          = flag.Int("mlp", 0, "memory-level parallelism width (0 = default)")
 		nebula       = flag.Int("nebula", 0, "NeBuLa-style drop threshold (0 = off)")
 		spikeProb    = flag.Float64("spike-prob", 0, "per-request service spike probability (§VI-F)")
@@ -80,7 +81,7 @@ func main() {
 	defer stopProfiles()
 
 	if *scenarioPath != "" {
-		runScenario(*scenarioPath, *warmup, *measure, ob)
+		runScenario(*scenarioPath, *warmup, *measure, *shards, ob)
 		return
 	}
 
@@ -95,6 +96,7 @@ func main() {
 	cfg.ClosedLoopDepth = *queued
 	cfg.Mem.Channels = *channels
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 	if *txSlots > 0 {
 		cfg.TXSlots = *txSlots
 	}
@@ -172,8 +174,11 @@ func list(w *os.File) {
 	fmt.Fprintf(w, "registered background streams: %s\n", strings.Join(workload.StreamNames(), ", "))
 }
 
-// runScenario expands a spec file and simulates every run in order.
-func runScenario(path string, warmup, measure uint64, ob obsFlags) {
+// runScenario expands a spec file and simulates every run in order. A
+// non-zero -shards flag overrides the spec's own shards knob: shard counts
+// never change results (the parallel engine is bit-identical to sequential),
+// so the host running the scenario gets the last word on engine parallelism.
+func runScenario(path string, warmup, measure uint64, shards int, ob obsFlags) {
 	spec, err := scenario.LoadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -189,6 +194,9 @@ func runScenario(path string, warmup, measure uint64, ob obsFlags) {
 			fmt.Printf("  param %s", r.Param)
 		}
 		fmt.Printf("  variant %s ---\n", r.Variant.DisplayName())
+		if shards != 0 {
+			r.Config.Shards = shards
+		}
 		m, err := machine.New(r.Config)
 		if err != nil {
 			log.Fatal(err)

@@ -9,55 +9,65 @@ import (
 
 // TestGoldenCSVs regenerates Figure 2's panels and Figure 6 (summary +
 // latency CDFs) at the committed artifacts' fidelity and byte-compares the
-// CSVs against results/. It is the end-to-end regression gate: any drift in
-// the simulator, the scenario expansion, or the CSV writer shows up here.
+// CSVs against results/ — once with the sequential engine, then across
+// engine shard counts {1, 2, 4, 8}. It is the end-to-end regression gate
+// twice over: any drift in the simulator, the scenario expansion, or the
+// CSV writer shows up in the sequential pass, and any divergence in the
+// parallel engine's canonical dispatch order shows up as a byte diff in
+// the sharded passes.
 //
 // Skipped under -short and under the race detector (the outputs are
 // deterministic regardless of scheduling, so rerunning at 10x cost buys
-// nothing).
+// nothing; the race-mode parallel coverage lives in the sim and machine
+// packages).
 func TestGoldenCSVs(t *testing.T) {
 	if testing.Short() {
-		t.Skip("golden regeneration takes ~1 min; skipped with -short")
+		t.Skip("golden regeneration takes ~1 min per shard count; skipped with -short")
 	}
 	if raceEnabled {
 		t.Skip("outputs are scheduling-independent; skipped under -race")
 	}
-	sc := QuickScale() // the scale results/README.md documents
 
-	dir := t.TempDir()
-	write := func(name string, emit func(f *os.File) error) {
-		t.Helper()
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := emit(f); err != nil {
-			t.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			t.Fatal(err)
-		}
-	}
+	goldens := []string{"fig2a.csv", "fig2b.csv", "fig2c.csv", "fig6.csv", "fig6_cdf.csv"}
+	for _, shards := range []int{0, 1, 2, 4, 8} {
+		sc := QuickScale() // the scale results/README.md documents
+		sc.Shards = shards
 
-	for _, tb := range Fig2(sc) {
-		tb := tb
-		write(tb.ID+".csv", func(f *os.File) error { return tb.WriteCSV(f) })
-	}
-	r := Fig6(sc)
-	write("fig6.csv", func(f *os.File) error { return r.Summary.WriteCSV(f) })
-	write("fig6_cdf.csv", func(f *os.File) error { return WriteCDFCSV(f, r) })
+		dir := t.TempDir()
+		write := func(name string, emit func(f *os.File) error) {
+			t.Helper()
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := emit(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
 
-	for _, name := range []string{"fig2a.csv", "fig2b.csv", "fig2c.csv", "fig6.csv", "fig6_cdf.csv"} {
-		got, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			t.Fatal(err)
+		for _, tb := range Fig2(sc) {
+			tb := tb
+			write(tb.ID+".csv", func(f *os.File) error { return tb.WriteCSV(f) })
 		}
-		want, err := os.ReadFile(filepath.Join("..", "..", "results", name))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(got, want) {
-			t.Errorf("%s: regenerated CSV differs from results/%s", name, name)
+		r := Fig6(sc)
+		write("fig6.csv", func(f *os.File) error { return r.Summary.WriteCSV(f) })
+		write("fig6_cdf.csv", func(f *os.File) error { return WriteCDFCSV(f, r) })
+
+		for _, name := range goldens {
+			got, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("..", "..", "results", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("shards=%d: regenerated %s differs from results/%s", shards, name, name)
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ package machine
 
 import (
 	"fmt"
+	"runtime"
 
 	"sweeper/internal/cache"
 	"sweeper/internal/core"
@@ -115,6 +116,15 @@ type Config struct {
 	// workloads that opt in (workload.LLCWarmer) are affected.
 	WarmLLC bool
 
+	// Shards selects the event engine's parallel mode: 0 or 1 run the
+	// sequential engine, N > 1 partitions the engine into N core-sharded
+	// timing wheels advanced by conservative epochs (shard 0 hosts the
+	// shared NIC/LLC/DRAM domain, the rest split the cores), and -1 picks
+	// min(cores+1, GOMAXPROCS) automatically. Results are bit-identical at
+	// every shard count; Shards is not part of the machine geometry, so
+	// pooled machines may change it freely across Resets.
+	Shards int
+
 	// Seed makes runs reproducible.
 	Seed int64
 }
@@ -171,6 +181,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("machine: ClosedLoopDepth %d exceeds RingSlots %d", c.ClosedLoopDepth, c.RingSlots)
 	case c.SpikeProb < 0 || c.SpikeProb > 1:
 		return fmt.Errorf("machine: SpikeProb %g outside [0,1]", c.SpikeProb)
+	case c.Shards < -1:
+		return fmt.Errorf("machine: Shards must be -1 (auto), 0/1 (sequential) or a shard count, got %d", c.Shards)
 	}
 	if err := workload.ValidateParams(c.Workload, c.params()); err != nil {
 		return fmt.Errorf("machine: workload %q: %w", c.Workload, err)
@@ -201,4 +213,31 @@ func (c *Config) xmemName() string {
 // produces, as declared by its registration.
 func (c *Config) respSlotBytes() uint64 {
 	return workload.TXSlotBytes(c.Workload, c.params())
+}
+
+// resolveShards maps the Shards knob to a concrete shard count: -1 (auto)
+// becomes min(cores+1, GOMAXPROCS) — one shard per simulated core plus the
+// shared domain, never more than the host can run — and anything below 2
+// selects the sequential engine.
+func (c *Config) resolveShards() int {
+	n := c.Shards
+	if n == -1 {
+		n = c.NetCores + c.XMemCores + 1
+		if mp := runtime.GOMAXPROCS(0); n > mp {
+			n = mp
+		}
+	}
+	if n < 2 {
+		return 1
+	}
+	return n
+}
+
+// lookaheadCycles derives the conservative epoch width for the parallel
+// engine: the minimum cross-shard service latency. The floor is an LLC hit
+// as seen from a core — NoC traversal plus LLC access — because no
+// interaction between a core and the shared domain (or another core through
+// it) completes faster than that.
+func (c *Config) lookaheadCycles() uint64 {
+	return c.Cache.NoCLat + c.Cache.LLCLat
 }

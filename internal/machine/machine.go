@@ -106,6 +106,13 @@ func (m *Machine) configure(cfg Config) error {
 	// built registry holds stale closures; drop it for lazy rebuild.
 	m.metrics = nil
 
+	// Shard the engine before anything schedules: shard 0 hosts the shared
+	// NIC/LLC/DRAM domain (generators, dynamic-DDIO controller, sampler),
+	// the remaining shards split the cores. Placement only decides which
+	// timing wheel holds an event — dispatch order is canonical (at, seq)
+	// regardless — so results are bit-identical at every shard count.
+	m.eng.ConfigureShards(cfg.resolveShards(), cfg.lookaheadCycles())
+
 	m.dp.configure(cfg)
 
 	if cfg.NeBuLaDropDepth > 0 {
@@ -150,6 +157,7 @@ func (m *Machine) configure(cfg Config) error {
 			TXBase:      m.dp.space.TXBase(i),
 			SweepTX:     cfg.SweepTX,
 			MLP:         cfg.MLPWidth,
+			Shard:       m.shardOf(i),
 		}
 		if m.cores[i] != nil {
 			m.cores[i].Reset(ccfg)
@@ -205,6 +213,17 @@ func (m *Machine) configure(cfg Config) error {
 	return nil
 }
 
+// shardOf places a simulated core on an engine shard: shard 0 is reserved
+// for the shared domain, so core i lands on 1 + i mod (shards-1). On the
+// sequential engine everything is shard 0.
+func (m *Machine) shardOf(coreID int) int {
+	s := m.eng.NumShards()
+	if s <= 1 {
+		return 0
+	}
+	return 1 + coreID%(s-1)
+}
+
 // geometry captures every allocation-shaping parameter of a Config: the
 // parts of a machine that Reset reuses in place rather than reconfigures.
 // Two configs with equal geometry can share one pooled machine.
@@ -237,8 +256,8 @@ func geometryOf(cfg Config) geometry {
 // per-key arrays. The new configuration must have the same geometry as the
 // one the machine was built with (same core counts, ring shapes, cache and
 // DRAM sizing); non-geometric knobs — seeds, rates, modes, way masks,
-// Sweeper settings — may differ freely. Reset-then-Run is bit-identical to
-// fresh-build-then-Run.
+// Sweeper settings, shard counts — may differ freely. Reset-then-Run is
+// bit-identical to fresh-build-then-Run.
 func (m *Machine) Reset(cfg Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err

@@ -1,0 +1,160 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"sweeper/internal/core"
+	"sweeper/internal/nic"
+	"sweeper/internal/obs"
+)
+
+// parallelCases are the representative configurations of the engine-rewrite
+// safety net (determinism_test.go), reused here as the shard-count matrix.
+func parallelCases() map[string]func(*Config) {
+	return map[string]func(*Config){
+		"open-loop-ddio": func(c *Config) {},
+		"sweeper": func(c *Config) {
+			c.Sweeper = core.Config{RXSweep: true, IssueCyclesPerLine: 1}
+		},
+		"closed-loop": func(c *Config) {
+			c.OfferedMrps = 0
+			c.ClosedLoopDepth = 64
+		},
+		"dma": func(c *Config) {
+			c.NICMode = nic.ModeDMA
+		},
+		"collocated-xmem": func(c *Config) {
+			c.NetCores = 8
+			c.XMemCores = 4
+		},
+		"dynamic-ddio": func(c *Config) {
+			c.DynamicDDIOEpoch = 50_000
+		},
+	}
+}
+
+// TestResultsBitIdenticalAcrossShardCounts is the parallel-engine
+// determinism contract: every representative configuration must produce
+// Results identical in every field — counters, derived floats, full latency
+// CDFs — for shards in {1, 2, 4, 8}, with the sequential engine (Shards=0)
+// as the baseline.
+func TestResultsBitIdenticalAcrossShardCounts(t *testing.T) {
+	for name, mutate := range parallelCases() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			base := quickCfg()
+			mutate(&base)
+			run := func(shards int) Results {
+				cfg := base
+				cfg.Shards = shards
+				return MustNew(cfg).Run(400_000, 300_000)
+			}
+			want := run(0)
+			for _, shards := range []int{1, 2, 4, 8} {
+				if got := run(shards); !reflect.DeepEqual(got, want) {
+					t.Fatalf("shards=%d diverged from sequential:\n  seq: %+v\n  par: %+v", shards, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelForcedHarvestPool drives every epoch through the worker pool
+// (threshold 0) on one representative config; under -race this puts the
+// detector on the machine-level cross-shard handoffs.
+func TestParallelForcedHarvestPool(t *testing.T) {
+	cfg := quickCfg()
+	run := func(shards, threshold int) Results {
+		c := cfg
+		c.Shards = shards
+		m := MustNew(c)
+		m.Engine().SetParallelHarvestThreshold(threshold)
+		return m.Run(200_000, 200_000)
+	}
+	want := run(0, -1)
+	if got := run(4, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("forced-pool run diverged from sequential:\n  seq: %+v\n  par: %+v", want, got)
+	}
+}
+
+// TestParallelPoolReset checks the pool/Reset contract with shard counts in
+// the mix: a pooled machine Reset across different Shards values must
+// reproduce fresh-machine results bit-identically (Shards is non-geometric).
+func TestParallelPoolReset(t *testing.T) {
+	cfg := quickCfg()
+	fresh := func(shards int) Results {
+		c := cfg
+		c.Shards = shards
+		return MustNew(c).Run(200_000, 200_000)
+	}
+	wantSeq := fresh(0)
+	wantPar := fresh(4)
+
+	c0 := cfg
+	c0.Shards = 4
+	m := MustNew(c0)
+	if got := m.Run(200_000, 200_000); !reflect.DeepEqual(got, wantPar) {
+		t.Fatalf("pooled first run diverged from fresh shards=4")
+	}
+	c1 := cfg
+	c1.Shards = 0
+	if err := m.Reset(c1); err != nil {
+		t.Fatalf("Reset to sequential: %v", err)
+	}
+	if got := m.Run(200_000, 200_000); !reflect.DeepEqual(got, wantSeq) {
+		t.Fatalf("Reset shards 4->0 diverged from fresh sequential")
+	}
+	c2 := cfg
+	c2.Shards = 8
+	if err := m.Reset(c2); err != nil {
+		t.Fatalf("Reset to shards=8: %v", err)
+	}
+	if got := m.Run(200_000, 200_000); !reflect.DeepEqual(got, wantSeq) {
+		t.Fatalf("Reset shards 0->8 diverged (shards=8 vs sequential must still be bit-identical)")
+	}
+}
+
+// TestSampledSeriesIdenticalAcrossShards runs with metric sampling armed and
+// compares the full time-series across shard counts: the sampler dispatches
+// in the canonical merged order, so sampled cycles and every row must match
+// the sequential engine exactly (and under -tags sweeperdebug the sampler's
+// cadence probe asserts no drift while this runs).
+func TestSampledSeriesIdenticalAcrossShards(t *testing.T) {
+	cfg := quickCfg()
+	run := func(shards int) *obs.Series {
+		c := cfg
+		c.Shards = shards
+		m := MustNew(c)
+		m.EnableSampling(10_000)
+		m.Run(200_000, 200_000)
+		return m.ObsSeries()
+	}
+	want := run(0)
+	if want == nil || len(want.Cycles) == 0 {
+		t.Fatal("sequential run produced no samples")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		if got := run(shards); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d sampled series diverged from sequential", shards)
+		}
+	}
+}
+
+// TestAutoShards resolves -1 to min(cores+1, GOMAXPROCS) and still runs
+// bit-identically to sequential.
+func TestAutoShards(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Shards = -1
+	m := MustNew(cfg)
+	if n := m.Engine().NumShards(); n < 1 || n > cfg.NetCores+cfg.XMemCores+1 {
+		t.Fatalf("auto shards resolved to %d", n)
+	}
+	got := m.Run(200_000, 200_000)
+	seq := cfg
+	seq.Shards = 0
+	want := MustNew(seq).Run(200_000, 200_000)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("auto-sharded run diverged from sequential")
+	}
+}

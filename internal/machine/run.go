@@ -86,13 +86,20 @@ type windowSnap struct {
 	start      uint64
 }
 
+// start wires every component's initial event onto its engine shard: cores
+// (and tenant cores) on their own shards, the traffic generators and the
+// dynamic-DDIO controller on the shared-domain shard 0. Self-rescheduling
+// events inherit their shard from the dispatching event afterwards.
 func (m *Machine) start() {
-	for _, c := range m.cores {
+	for i, c := range m.cores {
+		m.eng.SetShard(m.shardOf(i))
 		c.Start()
 	}
-	for _, x := range m.xmem {
+	for i, x := range m.xmem {
+		m.eng.SetShard(m.shardOf(m.cfg.NetCores + i))
 		x.Start()
 	}
+	m.eng.SetShard(0)
 	if m.cgen != nil {
 		m.cgen.Start(m.eng.Now())
 	} else {

@@ -16,10 +16,19 @@ type Series struct {
 // reschedules itself, so arming a sampler never perturbs simulation results
 // — only the (at, seq) sequence numbers of later events shift, which
 // preserves their relative dispatch order.
+//
+// Cadence is exact by construction: each firing reschedules at now+every, and
+// the engine dispatches events at their exact timestamps — sequentially and
+// under the sharded engine alike, since the parallel runtime merges shards
+// into one canonical (at, seq) order before dispatching. Sampled time-series
+// are therefore bit-identical across shard counts. A sample landing off the
+// expected grid would mean the engine dispatched an event at the wrong cycle;
+// the debug build asserts against exactly that drift.
 type Sampler struct {
 	eng   *sim.Engine
 	reg   *Registry
 	every uint64
+	next  uint64
 	done  bool
 	s     Series
 }
@@ -47,6 +56,7 @@ func (sp *Sampler) Every() uint64 { return sp.every }
 // Start takes an immediate sample and schedules the periodic ones.
 func (sp *Sampler) Start() {
 	sp.sample(sp.eng.Now())
+	sp.next = sp.eng.Now() + sp.every
 	sp.eng.ScheduleAfter(sp.every, sp, 0)
 }
 
@@ -55,7 +65,12 @@ func (sp *Sampler) OnEvent(now sim.Cycle, _ uint64) {
 	if sp.done {
 		return
 	}
+	if ProbesEnabled && uint64(now) != sp.next {
+		Failf("obs: sampler cadence drift: fired at cycle %d, expected %d (every=%d)",
+			now, sp.next, sp.every)
+	}
 	sp.sample(now)
+	sp.next = uint64(now) + sp.every
 	sp.eng.ScheduleAfter(sp.every, sp, 0)
 }
 

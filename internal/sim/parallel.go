@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+const (
+	// maxShards caps the shard count; beyond the host's core count extra
+	// shards only add merge overhead.
+	maxShards = 64
+
+	// defaultParMin is the default harvest size below which shard harvests
+	// run inline: channel barriers cost microseconds, so tiny epochs are
+	// cheaper on the coordinator.
+	defaultParMin = 64
+)
+
+// parRuntime is the sharded engine: per-shard timing wheels advanced by
+// conservative epochs and merged into one canonical dispatch sequence.
+//
+// # Epoch structure
+//
+// Each epoch the coordinator computes T, the earliest pending event across
+// all shards, and a horizon T+lookahead. Shards then *harvest* in parallel:
+// each drains its mailbox, pops every event with at <= horizon off its own
+// wheel into a ready list (emerging in (at, seq) order), and advances its
+// local clock — pure queue maintenance on shard-private state, no callbacks.
+// The coordinator then *dispatches* serially: ready lists are merged through
+// a min-heap keyed by (at, seq) and each event fires in exactly the order
+// the sequential engine would use.
+//
+// # Why dispatch is bit-identical
+//
+// Sequence numbers are assigned only by the coordinator — at setup and
+// inside serialized dispatch — so (at, seq) is the same global total order
+// the sequential engine dispatches in, for any shard count and any
+// lookahead. Events scheduled mid-epoch join the merge heap directly when
+// they land inside the horizon (so intra-epoch causality is preserved) and
+// go to the target shard's mailbox otherwise. Goroutine arrival order never
+// influences dispatch: workers only move nodes between shard-private
+// structures, and the merge heap orders purely by (at, seq).
+//
+// # Why harvest is race-free
+//
+// Strict phase alternation. During harvest, each worker owns exactly one
+// shard (its queue, mailbox, ready list); the coordinator touches nothing.
+// During dispatch and setup, the coordinator owns everything and no workers
+// run. The WaitGroup barrier between phases establishes happens-before in
+// both directions.
+type parRuntime struct {
+	shards    []shard
+	lookahead Cycle
+
+	// Coordinator dispatch/setup state (never touched during harvest).
+	heap       []mergeEntry // canonical merge heap, keyed (at, seq)
+	inEpoch    bool         // inside dispatchEpoch: schedules route to heap/mailboxes
+	horizon    Cycle        // current epoch's inclusive dispatch bound
+	ctxShard   int          // shard receiving ambient schedules right now
+	setupShard int          // SetShard selection, restored after each epoch
+
+	active      []int32 // shards selected for the current harvest
+	lastHarvest int     // events harvested in the previous epoch
+	pool        *harvestPool
+}
+
+// shard is one timing-wheel partition with its local clock and mailbox.
+type shard struct {
+	q   queue
+	now Cycle // local clock: everything at <= now has been harvested
+
+	// inbox holds nodes scheduled for this shard beyond a dispatching
+	// epoch's horizon. Appended only by the coordinator (serialized
+	// dispatch), drained only by this shard's harvest — phases alternate,
+	// so it is an SPSC handoff with the epoch barrier as the fence.
+	inbox    []int32
+	inboxMin Cycle // earliest at in inbox (lower bound; valid when non-empty)
+
+	// ready is the harvest output: nodes with at <= horizon in (at, seq)
+	// order, consumed by the coordinator's merge.
+	ready []int32
+
+	// nextAt lower-bounds the earliest event remaining on the wheel or
+	// overflow heap after the last harvest (conservative: the bound may
+	// name a cancelled event; a harvest at that bound reclaims it).
+	nextAt  Cycle
+	hasNext bool
+
+	harvested int // ready-list length, written by the harvest worker
+}
+
+// mergeEntry is one candidate event in the canonical merge heap. pos is the
+// node's index in its shard's ready list (the successor is pos+1), or -1 for
+// events scheduled live during the epoch.
+type mergeEntry struct {
+	at    Cycle
+	seq   uint64
+	node  int32
+	shard int32
+	pos   int32
+}
+
+func newParRuntime(n int, lookahead Cycle) *parRuntime {
+	p := &parRuntime{
+		shards:    make([]shard, n),
+		lookahead: lookahead,
+	}
+	for i := range p.shards {
+		p.shards[i].q.init()
+	}
+	return p
+}
+
+// reset restores the runtime to its just-constructed observable state,
+// keeping every shard's node slab (see queue.reset).
+func (p *parRuntime) reset() {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.q.reset()
+		sh.now = 0
+		sh.inbox = sh.inbox[:0]
+		sh.inboxMin = 0
+		sh.ready = sh.ready[:0]
+		sh.nextAt, sh.hasNext = 0, false
+		sh.harvested = 0
+	}
+	p.heap = p.heap[:0]
+	p.inEpoch = false
+	p.horizon = 0
+	p.ctxShard, p.setupShard = 0, 0
+	p.active = p.active[:0]
+	p.lastHarvest = 0
+}
+
+// place routes a freshly sequenced event to its shard. Inside an epoch,
+// events within the horizon join the merge heap (they dispatch this epoch,
+// in canonical order) and later ones go to the shard's mailbox; outside an
+// epoch they link straight into the shard's wheel.
+func (p *parRuntime) place(e *Engine, shard int, at Cycle, seq uint64, fn Event, sink Sink, arg uint64) Handle {
+	sh := &p.shards[shard]
+	i := sh.q.allocSet(at, seq, fn, sink, arg)
+	if p.inEpoch {
+		if at <= p.horizon {
+			p.heapPush(mergeEntry{at: at, seq: seq, node: i, shard: int32(shard), pos: -1})
+		} else {
+			if len(sh.inbox) == 0 || at < sh.inboxMin {
+				sh.inboxMin = at
+			}
+			sh.inbox = append(sh.inbox, i)
+		}
+	} else {
+		sh.q.link(sh.now, i)
+		if !sh.hasNext || at < sh.nextAt {
+			sh.nextAt, sh.hasNext = at, true
+		}
+	}
+	return Handle{e: e, idx: i, gen: sh.q.nodes[i].gen, shard: int32(shard)}
+}
+
+// bound reports a lower bound on the shard's earliest pending event.
+func (sh *shard) bound() (Cycle, bool) {
+	at, ok := sh.nextAt, sh.hasNext
+	if len(sh.inbox) > 0 && (!ok || sh.inboxMin < at) {
+		at, ok = sh.inboxMin, true
+	}
+	return at, ok
+}
+
+// runUntil advances the sharded engine through conservative epochs until no
+// event at or before limit remains. The caller (Engine.RunUntil) owns the
+// final clock clamp.
+func (p *parRuntime) runUntil(e *Engine, limit Cycle) {
+	defer p.stopPool()
+	for {
+		// T = earliest pending event across shards (a conservative lower
+		// bound; a stale bound costs one empty epoch that reclaims the
+		// cancelled node it named, so the loop always makes progress).
+		var t Cycle
+		ok := false
+		for i := range p.shards {
+			if at, has := p.shards[i].bound(); has && (!ok || at < t) {
+				t, ok = at, true
+			}
+		}
+		if !ok || t > limit {
+			return
+		}
+		if t < e.now {
+			t = e.now
+		}
+		horizon := t + p.lookahead
+		if horizon < t || horizon > limit {
+			horizon = limit // overflow-guarded clamp
+		}
+		p.harvest(e, horizon)
+		p.dispatchEpoch(e, horizon)
+	}
+}
+
+// harvest pops every event with at <= horizon off the active shards' wheels
+// into their ready lists — in parallel when the previous epoch was big
+// enough to amortize the barrier, inline otherwise.
+func (p *parRuntime) harvest(e *Engine, horizon Cycle) {
+	p.active = p.active[:0]
+	for i := range p.shards {
+		if at, ok := p.shards[i].bound(); ok && at <= horizon {
+			p.active = append(p.active, int32(i))
+		}
+	}
+	total := 0
+	if len(p.active) > 1 && p.lastHarvest >= e.parMin {
+		pool := p.startPool()
+		pool.wg.Add(len(p.active))
+		for _, si := range p.active {
+			pool.jobs <- harvestJob{sh: &p.shards[si], horizon: horizon}
+		}
+		pool.wg.Wait()
+		for _, si := range p.active {
+			total += p.shards[si].harvested
+		}
+	} else {
+		for _, si := range p.active {
+			sh := &p.shards[si]
+			sh.harvestOne(horizon)
+			total += sh.harvested
+		}
+	}
+	p.lastHarvest = total
+}
+
+// harvestOne is the per-shard harvest: migrate, drain the mailbox, pop the
+// epoch's events into the ready list, advance the local clock. It touches
+// only shard-private state.
+func (sh *shard) harvestOne(horizon Cycle) {
+	q := &sh.q
+	// Migrate before draining the mailbox: overflow nodes carry smaller
+	// sequence numbers than anything mailed later, so they must enter their
+	// buckets first to keep bucket FIFO order equal to (at, seq) order.
+	q.migrate(sh.now)
+	if len(sh.inbox) > 0 {
+		for _, i := range sh.inbox {
+			q.link(sh.now, i)
+		}
+		sh.inbox = sh.inbox[:0]
+	}
+	sh.ready = sh.ready[:0]
+	now := sh.now
+	for {
+		i, ok := q.pop(&now, horizon)
+		if !ok {
+			break
+		}
+		sh.ready = append(sh.ready, i)
+	}
+	if q.live == 0 && q.dead > 0 {
+		// Only cancelled nodes remain: pop won't walk them (it exits on
+		// live == 0), so reclaim them here or peek would keep reporting
+		// their bucket as a bound and livelock the epoch loop.
+		q.compact()
+	}
+	sh.now = horizon
+	// Migrate at the new clock so no overflow node within wheel range
+	// predates later same-bucket insertions (the FIFO invariant again).
+	q.migrate(horizon)
+	sh.nextAt, sh.hasNext = q.peek(horizon)
+	q.maybeCompact()
+	sh.harvested = len(sh.ready)
+}
+
+// dispatchEpoch merges the ready lists through the canonical (at, seq) heap
+// and fires each event serially, exactly as the sequential engine would.
+func (p *parRuntime) dispatchEpoch(e *Engine, horizon Cycle) {
+	p.inEpoch = true
+	p.horizon = horizon
+	for _, si := range p.active {
+		sh := &p.shards[si]
+		if len(sh.ready) > 0 {
+			n := &sh.q.nodes[sh.ready[0]]
+			p.heapPush(mergeEntry{at: n.at, seq: n.seq, node: sh.ready[0], shard: si, pos: 0})
+		}
+	}
+	for len(p.heap) > 0 {
+		ent := p.heapPop()
+		sh := &p.shards[ent.shard]
+		if ent.pos >= 0 && int(ent.pos)+1 < len(sh.ready) {
+			succ := sh.ready[ent.pos+1]
+			n := &sh.q.nodes[succ]
+			p.heapPush(mergeEntry{at: n.at, seq: n.seq, node: succ, shard: ent.shard, pos: ent.pos + 1})
+		}
+		n := &sh.q.nodes[ent.node]
+		if n.dead {
+			// Cancelled mid-epoch (possibly by an earlier event in this
+			// very merge); skip without advancing the clock.
+			sh.q.reclaim(ent.node)
+			continue
+		}
+		fn, sink, arg := n.fn, n.sink, n.arg
+		sh.q.live--
+		sh.q.freeNode(ent.node)
+		e.now = ent.at
+		p.ctxShard = int(ent.shard)
+		if sink != nil {
+			sink.OnEvent(ent.at, arg)
+		} else {
+			fn(ent.at)
+		}
+	}
+	p.inEpoch = false
+	p.ctxShard = p.setupShard
+}
+
+// Merge heap: binary min-heap of mergeEntry keyed (at, seq). seq is globally
+// unique, so the order is total and deterministic.
+
+func mergeLess(a, b mergeEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (p *parRuntime) heapPush(ent mergeEntry) {
+	p.heap = append(p.heap, ent)
+	c := len(p.heap) - 1
+	for c > 0 {
+		par := (c - 1) / 2
+		if !mergeLess(p.heap[c], p.heap[par]) {
+			break
+		}
+		p.heap[c], p.heap[par] = p.heap[par], p.heap[c]
+		c = par
+	}
+}
+
+func (p *parRuntime) heapPop() mergeEntry {
+	top := p.heap[0]
+	last := len(p.heap) - 1
+	p.heap[0] = p.heap[last]
+	p.heap = p.heap[:last]
+	n := len(p.heap)
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && mergeLess(p.heap[r], p.heap[c]) {
+			c = r
+		}
+		if !mergeLess(p.heap[c], p.heap[i]) {
+			break
+		}
+		p.heap[c], p.heap[i] = p.heap[i], p.heap[c]
+		i = c
+	}
+	return top
+}
+
+// harvestPool is the worker pool that runs shard harvests. It is created
+// lazily on the first parallel harvest of a RunUntil call and torn down when
+// the call returns, so an idle engine holds no goroutines.
+type harvestPool struct {
+	jobs chan harvestJob
+	wg   sync.WaitGroup
+}
+
+type harvestJob struct {
+	sh      *shard
+	horizon Cycle
+}
+
+func (p *parRuntime) startPool() *harvestPool {
+	if p.pool != nil {
+		return p.pool
+	}
+	workers := len(p.shards)
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	pool := &harvestPool{jobs: make(chan harvestJob, len(p.shards))}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for job := range pool.jobs {
+				job.sh.harvestOne(job.horizon)
+				pool.wg.Done()
+			}
+		}()
+	}
+	p.pool = pool
+	return pool
+}
+
+func (p *parRuntime) stopPool() {
+	if p.pool != nil {
+		close(p.pool.jobs)
+		p.pool = nil
+	}
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// traceEv is one dispatched event in a recorded trace: the cycle it fired at
+// and the order it was created in (a deterministic identity).
+type traceEv struct {
+	At Cycle
+	ID int
+}
+
+// traceSink records its firings and lets the workload exercise the
+// allocation-free Sink path (including ScheduleOnShard) alongside closures.
+type traceSink struct {
+	trace *[]traceEv
+}
+
+func (s *traceSink) OnEvent(now Cycle, arg uint64) {
+	*s.trace = append(*s.trace, traceEv{At: now, ID: int(arg)})
+}
+
+// runRandomWorkload drives one engine configuration through a randomized
+// self-scheduling workload — horizon-straddling deltas, cross-shard sink
+// schedules, and cancels — and returns the dispatch trace. All randomness
+// comes from the seeded rng, and the rng is consumed only inside dispatched
+// callbacks; since dispatch order must be identical at every shard count,
+// identical traces across configurations are exactly the bit-identical
+// dispatch contract.
+func runRandomWorkload(t *testing.T, shards int, lookahead Cycle, seed int64, forcePar bool) []traceEv {
+	t.Helper()
+	e := NewEngine()
+	e.ConfigureShards(shards, lookahead)
+	if forcePar {
+		e.SetParallelHarvestThreshold(0)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var trace []traceEv
+	sink := &traceSink{trace: &trace}
+	var pending []Handle
+	nextID := 0
+
+	var spawn func(at Cycle, budget int)
+	spawn = func(at Cycle, budget int) {
+		id := nextID
+		nextID++
+		h := e.At(at, func(now Cycle) {
+			trace = append(trace, traceEv{At: now, ID: id})
+			if budget <= 0 {
+				return
+			}
+			for _, choice := range []int{rng.Intn(5), rng.Intn(5)} {
+				switch choice {
+				case 0, 1: // closure reschedule, possibly past the wheel
+					spawn(now+Cycle(rng.Intn(2*wheelSize)), budget-1)
+				case 2: // cross-shard sink schedule
+					sh := rng.Intn(8) % e.NumShards()
+					sid := nextID
+					nextID++
+					pending = append(pending,
+						e.ScheduleOnShard(sh, now+Cycle(rng.Intn(3*int(lookahead)+50)), sink, uint64(sid)))
+				case 3: // cancel something scheduled earlier
+					if len(pending) > 0 {
+						k := rng.Intn(len(pending))
+						pending[k].Cancel()
+						pending = append(pending[:k], pending[k+1:]...)
+					}
+				}
+			}
+		})
+		pending = append(pending, h)
+	}
+	for i := 0; i < 40; i++ {
+		spawn(Cycle(rng.Intn(3*wheelSize)), 3)
+	}
+	e.RunUntil(20 * wheelSize)
+	if got, want := e.Now(), Cycle(20*wheelSize); got != want {
+		t.Fatalf("shards=%d: Now() = %d after RunUntil(%d)", shards, got, want)
+	}
+	e.Drain()
+	return trace
+}
+
+// TestShardedDispatchMatchesSequential is the determinism property test:
+// random workloads must produce identical dispatch traces for shards in
+// {1, 2, 4, 8} across several lookahead widths.
+func TestShardedDispatchMatchesSequential(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, lookahead := range []Cycle{1, 42, 900, 3 * wheelSize} {
+			want := runRandomWorkload(t, 1, lookahead, seed, false)
+			if len(want) == 0 {
+				t.Fatalf("seed %d: empty sequential trace", seed)
+			}
+			for _, shards := range []int{2, 4, 8} {
+				got := runRandomWorkload(t, shards, lookahead, seed, false)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d lookahead %d: shards=%d trace diverges from sequential (len %d vs %d)",
+						seed, lookahead, shards, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestForcedParallelHarvestMatchesSequential drives every epoch through the
+// worker pool (threshold 0), so under -race this exercises the cross-shard
+// handoffs with the detector watching.
+func TestForcedParallelHarvestMatchesSequential(t *testing.T) {
+	for seed := int64(7); seed <= 9; seed++ {
+		want := runRandomWorkload(t, 1, 64, seed, false)
+		for _, shards := range []int{2, 8} {
+			got := runRandomWorkload(t, shards, 64, seed, true)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: forced-parallel shards=%d trace diverges", seed, shards)
+			}
+		}
+	}
+}
+
+// TestDegenerateLookaheadFallsBackSequential: zero lookahead (and shard
+// counts <= 1) must select the sequential path outright.
+func TestDegenerateLookaheadFallsBackSequential(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureShards(4, 0)
+	if e.par != nil || e.NumShards() != 1 || e.Lookahead() != 0 {
+		t.Fatalf("zero lookahead did not fall back: shards=%d", e.NumShards())
+	}
+	e.ConfigureShards(1, 100)
+	if e.par != nil || e.NumShards() != 1 {
+		t.Fatalf("shards=1 did not fall back")
+	}
+	e.ConfigureShards(0, 100)
+	if e.par != nil {
+		t.Fatalf("shards=0 did not fall back")
+	}
+	// The sequential fallback must still run (and Step must work).
+	fired := false
+	e.At(10, func(Cycle) { fired = true })
+	if !e.Step() || !fired {
+		t.Fatal("fallback engine did not dispatch")
+	}
+}
+
+// TestCancelDuringEpochCrossShard cancels cross-shard events from a callback
+// in the same epoch: one already harvested into the merge heap (same-cycle)
+// and one parked in a mailbox beyond the horizon. Neither may fire, and the
+// queue must still drain completely.
+func TestCancelDuringEpochCrossShard(t *testing.T) {
+	e := NewEngine()
+	const lookahead = 100
+	e.ConfigureShards(4, lookahead)
+	var fired []string
+	var hInEpoch, hMailbox Handle
+	e.SetShard(0)
+	e.At(50, func(now Cycle) {
+		// Schedule onto other shards first, then cancel both: the in-epoch
+		// one is already in the merge heap, the far one sits in shard 2's
+		// mailbox.
+		hInEpoch = e.ScheduleOnShard(1, now+10, eventFunc(func(Cycle) { fired = append(fired, "in-epoch") }), 0)
+		hMailbox = e.ScheduleOnShard(2, now+10*lookahead, eventFunc(func(Cycle) { fired = append(fired, "mailbox") }), 0)
+		e.ScheduleOnShard(3, now+20, eventFunc(func(Cycle) { fired = append(fired, "keep-near") }), 0)
+		e.ScheduleOnShard(2, now+12*lookahead, eventFunc(func(Cycle) { fired = append(fired, "keep-far") }), 0)
+		hInEpoch.Cancel()
+		hMailbox.Cancel()
+	})
+	e.Drain()
+	if want := []string{"keep-near", "keep-far"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain", e.Pending())
+	}
+}
+
+// eventFunc adapts an Event closure to the Sink interface so cross-shard
+// tests can use ScheduleOnShard with closures.
+type eventFunc func(now Cycle)
+
+func (f eventFunc) OnEvent(now Cycle, _ uint64) { f(now) }
+
+// TestShardedResetReproduces runs a workload, Resets, and reruns: the engine
+// must reproduce the trace exactly (pool/Reset compatibility).
+func TestShardedResetReproduces(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureShards(4, 64)
+	run := func() []traceEv {
+		rng := rand.New(rand.NewSource(3))
+		var trace []traceEv
+		id := 0
+		var spawn func(at Cycle, budget int)
+		spawn = func(at Cycle, budget int) {
+			my := id
+			id++
+			e.At(at, func(now Cycle) {
+				trace = append(trace, traceEv{At: now, ID: my})
+				if budget > 0 {
+					spawn(now+Cycle(rng.Intn(wheelSize*2)), budget-1)
+				}
+			})
+		}
+		for i := 0; i < 20; i++ {
+			spawn(Cycle(rng.Intn(wheelSize)), 4)
+		}
+		e.Drain()
+		return trace
+	}
+	first := run()
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatalf("Reset left now=%d pending=%d", e.Now(), e.Pending())
+	}
+	// Same shard geometry: ConfigureShards must keep the slabs.
+	e.ConfigureShards(4, 64)
+	second := run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("trace not reproduced after Reset (len %d vs %d)", len(first), len(second))
+	}
+}
+
+// TestStepPanicsWhenSharded: Step is a sequential-path primitive.
+func TestStepPanicsWhenSharded(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureShards(2, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step on a sharded engine did not panic")
+		}
+	}()
+	e.Step()
+}
+
+// TestConfigureShardsRequiresEmptyEngine: shard assignment happens at
+// schedule time, so reconfiguration with pending events must refuse.
+func TestConfigureShardsRequiresEmptyEngine(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func(Cycle) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ConfigureShards with pending events did not panic")
+		}
+	}()
+	e.ConfigureShards(2, 10)
+}
+
+// TestRunUntilBoundarySharded: events at exactly the limit dispatch; events
+// beyond it survive to the next RunUntil, across epoch boundaries.
+func TestRunUntilBoundarySharded(t *testing.T) {
+	e := NewEngine()
+	e.ConfigureShards(3, 16)
+	var fired []Cycle
+	rec := func(now Cycle) { fired = append(fired, now) }
+	for _, at := range []Cycle{100, 1000, 1000, 1001, 5000} {
+		e.At(at, rec)
+	}
+	e.RunUntil(1000)
+	if want := []Cycle{100, 1000, 1000}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v before limit, want %v", fired, want)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("Now() = %d, want 1000", e.Now())
+	}
+	e.RunUntil(10000)
+	if want := []Cycle{100, 1000, 1000, 1001, 5000}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+}

@@ -1,0 +1,396 @@
+package sim
+
+import "math/bits"
+
+// queue is one hierarchical timing wheel plus its overflow heap and pooled
+// node slab: the storage half of an event queue, shared by the sequential
+// Engine (which owns exactly one) and every shard of the parallel runtime
+// (one wheel per shard). A queue holds no clock of its own — the owner
+// passes its notion of "now" into every operation — so the same mechanics
+// serve both the engine's global clock and a shard's local epoch clock.
+//
+// Dead (cancelled) nodes are reclaimed lazily as pops and migrations walk
+// over them; compact reclaims them eagerly once they outnumber live ones.
+type queue struct {
+	nodes []eventNode
+	free  int32 // free-list head
+
+	buckets    [wheelSize]bucket
+	occ        [wheelWords]uint64 // bit set iff bucket non-empty
+	wheelCount int                // nodes resident in buckets (incl. dead)
+
+	overflow []int32 // min-heap by (at, seq): events beyond the wheel
+
+	live int // scheduled, non-cancelled events
+	dead int // cancelled events awaiting reclamation
+}
+
+// init prepares a zero-value queue for use (bucket links are -1, not 0).
+func (q *queue) init() {
+	for i := range q.buckets {
+		q.buckets[i] = bucket{head: noNode, tail: noNode}
+	}
+	q.free = noNode
+}
+
+// reset returns the queue to its just-initialized observable state while
+// retaining the node slab and overflow heap capacity. Every node's
+// generation is bumped and its callback cleared, so stale Handles cannot
+// cancel recycled events and captured state is released to the GC; the free
+// list is rebuilt in slab order so allocation proceeds exactly as in a fresh
+// queue.
+func (q *queue) reset() {
+	for w := 0; w < wheelWords; w++ {
+		word := q.occ[w]
+		for word != 0 {
+			bkt := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			q.buckets[bkt] = bucket{head: noNode, tail: noNode}
+		}
+		q.occ[w] = 0
+	}
+	q.free = noNode
+	for i := len(q.nodes) - 1; i >= 0; i-- {
+		n := &q.nodes[i]
+		n.fn, n.sink = nil, nil
+		n.dead = false
+		n.gen++
+		n.next = q.free
+		q.free = int32(i)
+	}
+	q.overflow = q.overflow[:0]
+	q.wheelCount = 0
+	q.live, q.dead = 0, 0
+}
+
+func (q *queue) alloc() int32 {
+	if q.free != noNode {
+		i := q.free
+		q.free = q.nodes[i].next
+		return i
+	}
+	q.nodes = append(q.nodes, eventNode{})
+	return int32(len(q.nodes) - 1)
+}
+
+// allocSet allocates a node and stamps its event fields without linking it
+// into the wheel or overflow heap. The parallel runtime uses it for events
+// whose structural insertion is deferred (mailbox records, live-epoch
+// entries); the owner links it later with link, or dispatches it directly.
+func (q *queue) allocSet(at Cycle, seq uint64, fn Event, sink Sink, arg uint64) int32 {
+	i := q.alloc()
+	n := &q.nodes[i]
+	n.at, n.seq, n.arg = at, seq, arg
+	n.fn, n.sink = fn, sink
+	n.next, n.dead = noNode, false
+	q.live++
+	return i
+}
+
+// insert allocates, stamps and links an event in one step (the sequential
+// engine's schedule path).
+func (q *queue) insert(now, at Cycle, seq uint64, fn Event, sink Sink, arg uint64) int32 {
+	i := q.allocSet(at, seq, fn, sink, arg)
+	q.link(now, i)
+	return i
+}
+
+// link places an allocated node into the wheel (near future) or the overflow
+// heap (beyond the wheel's horizon), judged against the owner's clock.
+func (q *queue) link(now Cycle, i int32) {
+	if q.nodes[i].at-now < wheelSize {
+		q.wheelPush(i, q.nodes[i].at)
+	} else {
+		q.overflowPush(i)
+	}
+}
+
+// cancel marks the node dead if the handle is still current, reporting
+// whether a live event was actually cancelled.
+func (q *queue) cancel(idx int32, gen uint32) bool {
+	if idx < 0 || int(idx) >= len(q.nodes) {
+		return false
+	}
+	n := &q.nodes[idx]
+	if n.gen != gen || n.dead {
+		return false
+	}
+	n.dead = true
+	n.fn, n.sink = nil, nil
+	q.live--
+	q.dead++
+	return true
+}
+
+// maybeCompact reclaims cancelled events eagerly once they outnumber live
+// ones, bounding the memory a cancel-heavy workload can pin.
+func (q *queue) maybeCompact() {
+	if q.dead > q.live && q.dead >= compactMin {
+		q.compact()
+	}
+}
+
+// freeNode recycles a node. Bumping the generation invalidates outstanding
+// handles; clearing the callbacks releases captured state to the GC.
+func (q *queue) freeNode(i int32) {
+	n := &q.nodes[i]
+	n.fn, n.sink = nil, nil
+	n.gen++
+	n.next = q.free
+	q.free = i
+}
+
+// reclaim frees a cancelled node encountered during dispatch or compaction.
+func (q *queue) reclaim(i int32) {
+	q.dead--
+	q.freeNode(i)
+}
+
+// wheelPush appends node i to the bucket for cycle at (FIFO order).
+func (q *queue) wheelPush(i int32, at Cycle) {
+	bkt := int(at) & wheelMask
+	b := &q.buckets[bkt]
+	if b.head == noNode {
+		b.head = i
+		q.occ[bkt>>6] |= 1 << (uint(bkt) & 63)
+	} else {
+		q.nodes[b.tail].next = i
+	}
+	b.tail = i
+	q.wheelCount++
+}
+
+// bucketPopHead unlinks and returns the bucket's first node.
+func (q *queue) bucketPopHead(bkt int) int32 {
+	b := &q.buckets[bkt]
+	i := b.head
+	b.head = q.nodes[i].next
+	if b.head == noNode {
+		b.tail = noNode
+		q.occ[bkt>>6] &^= 1 << (uint(bkt) & 63)
+	}
+	q.wheelCount--
+	return i
+}
+
+// scanBucket finds the occupied bucket closest to the clock. Buckets map
+// one-to-one onto the cycles [now, now+wheelSize), so a circular bitmap scan
+// starting at now's own bucket visits them in time order.
+func (q *queue) scanBucket(now Cycle) (bkt int, dist int, ok bool) {
+	s := int(now) & wheelMask
+	w0 := s >> 6
+	if word := q.occ[w0] & (^uint64(0) << (uint(s) & 63)); word != 0 {
+		b := w0<<6 + bits.TrailingZeros64(word)
+		return b, b - s, true
+	}
+	for k := 1; k <= wheelWords; k++ {
+		w := (w0 + k) & (wheelWords - 1)
+		if q.occ[w] != 0 {
+			b := w<<6 + bits.TrailingZeros64(q.occ[w])
+			d := b - s
+			if d < 0 {
+				d += wheelSize
+			}
+			return b, d, true
+		}
+	}
+	return 0, 0, false
+}
+
+// migrate moves overflow events that entered the wheel's horizon into their
+// buckets. It must run every time the clock advances, before any callback
+// gets a chance to schedule: heap order is (at, seq), and every event a
+// callback schedules afterwards has a larger seq, so bucket FIFO order
+// equals global (at, seq) order.
+func (q *queue) migrate(now Cycle) {
+	for len(q.overflow) > 0 {
+		top := q.overflow[0]
+		n := &q.nodes[top]
+		if n.dead {
+			q.overflowPop()
+			q.reclaim(top)
+			continue
+		}
+		if n.at-now >= wheelSize {
+			return
+		}
+		q.overflowPop()
+		n.next = noNode
+		q.wheelPush(top, n.at)
+	}
+}
+
+// pop advances to the next live event at or before limit and unlinks it,
+// returning its node index. It reports false when no such event exists; the
+// clock is only advanced (through the now pointer) when an event is
+// committed for dispatch. The popped node stays allocated — the caller
+// dispatches and frees it, or hands it to a merge stage that does.
+func (q *queue) pop(now *Cycle, limit Cycle) (int32, bool) {
+	for q.live > 0 {
+		if q.wheelCount == 0 {
+			if len(q.overflow) == 0 {
+				return 0, false
+			}
+			top := q.overflow[0]
+			n := &q.nodes[top]
+			if n.dead {
+				q.overflowPop()
+				q.reclaim(top)
+				continue
+			}
+			if n.at > limit {
+				return 0, false
+			}
+			// Jump the clock to the far-future event and pull it (and
+			// everything else now in horizon) into the wheel.
+			*now = n.at
+			q.migrate(*now)
+			continue
+		}
+		bkt, dist, ok := q.scanBucket(*now)
+		if !ok {
+			// Unreachable: wheelCount > 0 implies an occupancy bit.
+			return 0, false
+		}
+		t := *now + Cycle(dist)
+		b := &q.buckets[bkt]
+		for b.head != noNode {
+			i := b.head
+			if q.nodes[i].dead {
+				q.bucketPopHead(bkt)
+				q.reclaim(i)
+				continue
+			}
+			if t > limit {
+				return 0, false
+			}
+			*now = t
+			q.migrate(*now)
+			q.bucketPopHead(bkt)
+			return i, true
+		}
+		// Bucket held only cancelled events; rescan.
+	}
+	return 0, false
+}
+
+// peek returns a lower bound on the earliest pending event's cycle: the
+// first occupied wheel bucket (which may hold only dead nodes — callers
+// tolerate a conservative bound) or the overflow top, whichever is earlier.
+func (q *queue) peek(now Cycle) (Cycle, bool) {
+	best, found := Cycle(0), false
+	if q.wheelCount > 0 {
+		if _, dist, ok := q.scanBucket(now); ok {
+			best, found = now+Cycle(dist), true
+		}
+	}
+	if len(q.overflow) > 0 {
+		if at := q.nodes[q.overflow[0]].at; !found || at < best {
+			best, found = at, true
+		}
+	}
+	return best, found
+}
+
+// compact reclaims cancelled events eagerly, bounding the memory a
+// cancel-heavy workload can pin.
+func (q *queue) compact() {
+	for w := 0; w < wheelWords; w++ {
+		word := q.occ[w]
+		for word != 0 {
+			bkt := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			q.compactBucket(bkt)
+		}
+	}
+	kept := q.overflow[:0]
+	for _, i := range q.overflow {
+		if q.nodes[i].dead {
+			q.reclaim(i)
+		} else {
+			kept = append(kept, i)
+		}
+	}
+	q.overflow = kept
+	for k := len(kept)/2 - 1; k >= 0; k-- {
+		q.siftDown(k)
+	}
+}
+
+func (q *queue) compactBucket(bkt int) {
+	b := &q.buckets[bkt]
+	prev := noNode
+	for i := b.head; i != noNode; {
+		next := q.nodes[i].next
+		if q.nodes[i].dead {
+			if prev == noNode {
+				b.head = next
+			} else {
+				q.nodes[prev].next = next
+			}
+			if next == noNode {
+				b.tail = prev
+			}
+			q.wheelCount--
+			q.reclaim(i)
+		} else {
+			prev = i
+		}
+		i = next
+	}
+	if b.head == noNode {
+		q.occ[bkt>>6] &^= 1 << (uint(bkt) & 63)
+	}
+}
+
+// Overflow heap: a plain binary min-heap over node indices ordered by
+// (at, seq), implemented directly to avoid container/heap's interface
+// boxing on the hot path.
+
+func (q *queue) overflowLess(a, b int32) bool {
+	na, nb := &q.nodes[a], &q.nodes[b]
+	if na.at != nb.at {
+		return na.at < nb.at
+	}
+	return na.seq < nb.seq
+}
+
+func (q *queue) overflowPush(i int32) {
+	q.overflow = append(q.overflow, i)
+	c := len(q.overflow) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if !q.overflowLess(q.overflow[c], q.overflow[p]) {
+			break
+		}
+		q.overflow[c], q.overflow[p] = q.overflow[p], q.overflow[c]
+		c = p
+	}
+}
+
+func (q *queue) overflowPop() {
+	last := len(q.overflow) - 1
+	q.overflow[0] = q.overflow[last]
+	q.overflow = q.overflow[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+}
+
+func (q *queue) siftDown(p int) {
+	n := len(q.overflow)
+	for {
+		c := 2*p + 1
+		if c >= n {
+			return
+		}
+		if r := c + 1; r < n && q.overflowLess(q.overflow[r], q.overflow[c]) {
+			c = r
+		}
+		if !q.overflowLess(q.overflow[c], q.overflow[p]) {
+			return
+		}
+		q.overflow[c], q.overflow[p] = q.overflow[p], q.overflow[c]
+		p = c
+	}
+}

@@ -93,7 +93,8 @@ func (h *Histogram) Min() uint64 {
 }
 
 // Percentile returns the value at quantile q in [0,1], estimated at the upper
-// edge of the containing bin. Quantiles landing in the overflow bin are
+// edge of the containing bin (clamped to the recorded max, so estimates are
+// monotone in q up to and including q=1). Quantiles landing in the overflow bin are
 // interpolated between the overflow min and max (anchored at the overflow
 // mean), so p99, p99.9 and p99.99 stay distinct and monotonic even when the
 // tail saturates the binned range.
@@ -115,7 +116,15 @@ func (h *Histogram) Percentile(q float64) uint64 {
 	for i, c := range h.bins {
 		cum += c
 		if cum >= target {
-			return (uint64(i) + 1) * h.binWidth
+			// Upper edge of the containing bin, clamped to the recorded
+			// max: when the top occupied bin is partially filled its edge
+			// can exceed every sample, which would put q<1 estimates above
+			// Percentile(1) = max.
+			v := (uint64(i) + 1) * h.binWidth
+			if v > h.max {
+				v = h.max
+			}
+			return v
 		}
 	}
 	if h.overflow > 0 {

@@ -1,0 +1,26 @@
+package stats
+
+import "testing"
+
+// TestPercentileClampedToMax pins a case the property test found: all mass
+// binned, the top occupied bin partially filled. The q<1 estimate used to be
+// that bin's upper edge (9780), above Percentile(1) = the recorded max
+// (9728) — non-monotone in q. Estimates must never exceed the max.
+func TestPercentileClampedToMax(t *testing.T) {
+	c := genCase(-7595230229451015488, 0xbb, 0xca, 0x753a, 0xdb5)
+	h := NewHistogram(c.binWidth, c.numBins)
+	for _, v := range c.samples {
+		h.Record(v)
+	}
+	prev := uint64(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1} {
+		got := h.Percentile(q)
+		if got < prev {
+			t.Errorf("non-monotone at q=%g: %d after %d", q, got, prev)
+		}
+		if got > h.Max() {
+			t.Errorf("q=%g estimate %d exceeds recorded max %d", q, got, h.Max())
+		}
+		prev = got
+	}
+}

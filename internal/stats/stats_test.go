@@ -212,7 +212,7 @@ func TestHistogramReset(t *testing.T) {
 		t.Fatal("Reset did not clear state")
 	}
 	h.Record(7)
-	if h.Percentile(0.5) != 8 { // upper bin edge
+	if h.Percentile(0.5) != 7 { // upper bin edge, clamped to the recorded max
 		t.Fatalf("post-reset percentile = %d", h.Percentile(0.5))
 	}
 }
