@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e bench-parallel race-parallel check results obs-smoke test-debug
+.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e bench-parallel bench-sampling race-parallel check results obs-smoke sampling-smoke test-debug
 
 all: check
 
@@ -53,16 +53,23 @@ bench-e2e:
 bench-parallel:
 	$(GO) run ./cmd/benchparallel -out BENCH_parallel.json
 
+# Sampled-simulation speedup and accuracy: full detailed runs vs sampled
+# (fixed and ci modes) on the base scenarios, recorded to BENCH_sampling.json.
+bench-sampling:
+	$(GO) run ./cmd/benchsampling -out BENCH_sampling.json
+
 # Race detection focused on the parallel engine's cross-shard paths, with
-# the invariant probes compiled in and the harvest pool forced on.
+# the invariant probes compiled in and the harvest pool forced on. Includes
+# the sampled-simulation tests: the error-bound validation plus the
+# sampled-across-shards determinism check.
 race-parallel:
 	$(GO) test -race -tags sweeperdebug -timeout 20m \
 		./internal/sim/ ./internal/machine/ \
-		-run 'Parallel|Shard|Sharded|Lookahead|CancelDuringEpoch'
+		-run 'Parallel|Shard|Sharded|Lookahead|CancelDuringEpoch|Sampl'
 
-bench: bench-engine bench-mem bench-e2e bench-parallel
+bench: bench-engine bench-mem bench-e2e bench-parallel bench-sampling
 
-check: build vet lint test race bench-engine
+check: build vet lint test race bench-engine sampling-smoke
 
 # Observability smoke: drive the CLI with every exporter enabled against the
 # kvs scenario, then validate the artifacts (CSV/JSON structure) in-process.
@@ -73,6 +80,13 @@ obs-smoke:
 		-metrics artifacts/metrics.csv -trace artifacts/trace.json \
 		-manifest artifacts/manifest.json
 	SWEEPER_OBS_DIR=$(CURDIR)/artifacts $(GO) test ./internal/obs -run TestObsSmoke -count=1 -v
+
+# Sampled-simulation smoke: drive the CLI's sampling flags end-to-end on the
+# kvs scenario, then the in-process smoke across every base scenario.
+sampling-smoke:
+	$(GO) run ./cmd/sweepersim -scenario examples/scenarios/kvs.json \
+		-warmup 500000 -measure 100000 -sample-mode fixed
+	$(GO) test ./internal/machine -run TestSamplingSmokeBuiltins -count=1
 
 # Debug build with the invariant probes compiled in (ring slot conservation,
 # DRAM timing monotonicity, cache inclusion, DDIO way-mask bounds).

@@ -388,8 +388,8 @@ func TestXMemCoreAccessLoop(t *testing.T) {
 	if x.Accesses() == 0 {
 		t.Fatal("no accesses")
 	}
-	// Batches of xmemMLP issue at one instant, spaced by latency+gap.
-	perBatch := uint64(xmemMLP)
+	// Batches of XMemMLP issue at one instant, spaced by latency+gap.
+	perBatch := uint64(XMemMLP)
 	if x.Accesses()%perBatch != 0 {
 		t.Fatalf("accesses %d not in whole batches", x.Accesses())
 	}

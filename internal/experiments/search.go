@@ -34,6 +34,13 @@ type Scale struct {
 	// Shards is the engine shard count stamped onto every run
 	// (machine.Config.Shards): 0/1 sequential, N > 1 parallel, -1 auto.
 	Shards int
+	// Sampling, when its Mode is set, stamps sampled-simulation knobs onto
+	// every run: detailed/fast-forward interval alternation with warm-up
+	// detection instead of full detailed windows. Warmup then acts as the
+	// warm-up budget rather than a fixed span. Sampled figures are
+	// approximations with confidence intervals — the committed results use
+	// full detailed runs.
+	Sampling machine.SamplingConfig
 }
 
 // FullScale is the fidelity used for the committed experiment results.
@@ -109,6 +116,9 @@ var pool = machine.NewPool(0)
 
 func runOnce(cfg machine.Config, sc Scale) machine.Results {
 	cfg.Shards = sc.Shards
+	if sc.Sampling.Mode != "" {
+		cfg.Sampling = sc.Sampling
+	}
 	m := pool.MustGet(cfg)
 	r := m.Run(sc.Warmup, sc.Measure)
 	pool.Put(m)

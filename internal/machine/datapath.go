@@ -93,23 +93,39 @@ func (dp *datapath) configure(cfg Config) {
 	dp.llcWays = cfg.Cache.LLCWays
 }
 
+// readKind classifies a demand read into the paper's breakdown categories by
+// requestor and address class.
+func (dp *datapath) readKind(a uint64, src cache.Requestor) stats.AccessKind {
+	if src == cache.SrcNIC {
+		return stats.NICTXRd
+	}
+	switch cls, _ := dp.space.Classify(a); cls {
+	case addr.ClassRX:
+		return stats.CPURXRd
+	case addr.ClassTX:
+		return stats.CPUTXRdWr
+	default:
+		return stats.CPUOtherRd
+	}
+}
+
+// evictKind classifies a writeback by address class.
+func (dp *datapath) evictKind(a uint64) stats.AccessKind {
+	switch cls, _ := dp.space.Classify(a); cls {
+	case addr.ClassRX:
+		return stats.RXEvct
+	case addr.ClassTX:
+		return stats.TXEvct
+	default:
+		return stats.OtherEvct
+	}
+}
+
 // DemandRead implements cache.MemSink, classifying the transaction into the
 // paper's breakdown categories by requestor and address class.
 func (dp *datapath) DemandRead(now uint64, a uint64, src cache.Requestor) uint64 {
 	done := dp.dram.Read(now, a)
-	var kind stats.AccessKind
-	if src == cache.SrcNIC {
-		kind = stats.NICTXRd
-	} else {
-		switch cls, _ := dp.space.Classify(a); cls {
-		case addr.ClassRX:
-			kind = stats.CPURXRd
-		case addr.ClassTX:
-			kind = stats.CPUTXRdWr
-		default:
-			kind = stats.CPUOtherRd
-		}
-	}
+	kind := dp.readKind(a, src)
 	dp.breakdown.Add(kind, 1)
 	if dp.measuring {
 		dp.dramLat.Record(done - now)
@@ -123,15 +139,7 @@ func (dp *datapath) DemandRead(now uint64, a uint64, src cache.Requestor) uint64
 // WritebackEvict implements cache.MemSink.
 func (dp *datapath) WritebackEvict(now uint64, a uint64) {
 	dp.dram.Write(now, a)
-	var kind stats.AccessKind
-	switch cls, _ := dp.space.Classify(a); cls {
-	case addr.ClassRX:
-		kind = stats.RXEvct
-	case addr.ClassTX:
-		kind = stats.TXEvct
-	default:
-		kind = stats.OtherEvct
-	}
+	kind := dp.evictKind(a)
 	dp.breakdown.Add(kind, 1)
 	if dp.measuring && dp.trace != nil {
 		dp.trace(TraceEvent{Cycle: now, Addr: a, Kind: kind})
@@ -145,6 +153,29 @@ func (dp *datapath) DMAWrite(now uint64, a uint64) {
 	if dp.measuring && dp.trace != nil {
 		dp.trace(TraceEvent{Cycle: now, Addr: a, Kind: stats.NICRXWr})
 	}
+}
+
+// FuncDemandRead implements cache.FuncMemSink: the fast-forward counterpart
+// of DemandRead. Classification still advances the breakdown counters (so
+// the dynamic-DDIO controller keeps steering during fast-forward spans), and
+// DRAM state updates functionally — counters and row buffers, no timing.
+// Nothing is recorded into the latency histogram or trace: fast-forward
+// intervals never overlap measurement.
+func (dp *datapath) FuncDemandRead(a uint64, src cache.Requestor) {
+	dp.dram.FuncRead(a)
+	dp.breakdown.Add(dp.readKind(a, src), 1)
+}
+
+// FuncWriteback implements cache.FuncMemSink.
+func (dp *datapath) FuncWriteback(a uint64) {
+	dp.dram.FuncWrite(a)
+	dp.breakdown.Add(dp.evictKind(a), 1)
+}
+
+// FuncDMAWrite implements cache.FuncMemSink.
+func (dp *datapath) FuncDMAWrite(a uint64) {
+	dp.dram.FuncWrite(a)
+	dp.breakdown.Add(stats.NICRXWr, 1)
 }
 
 // startDynamicDDIO arms the IAT-style epoch controller from the
@@ -180,6 +211,14 @@ func (dp *datapath) dynamicDDIO(now uint64) {
 		dp.dynAdjustments++
 	}
 	dp.eng.ScheduleAfter(dp.dynEpoch, dp, 0)
+}
+
+// installWarmLine inserts one steady-state-resident line into the LLC, the
+// per-line callback behind workload.StateWarmer pre-installation. Any way
+// may hold warm content — way restrictions only govern NIC allocations.
+func (dp *datapath) installWarmLine(line uint64, dirty bool) {
+	llc := dp.hier.LLC()
+	llc.Insert(line, dirty, cache.MaskAll(llc.Ways()))
 }
 
 // warmLLC fills the LLC and every private L2 with application data lines

@@ -37,6 +37,10 @@ type Results struct {
 	// response posted), which the SLO check uses.
 	ReqLatMean float64
 	ReqLatP99  uint64
+	// AMATCycles is the mean CPU-side hierarchy access latency over the
+	// window — the average memory access time the paper's throughput model
+	// centres on.
+	AMATCycles float64
 	// AvgServiceCycles is mean service time excluding queuing; the SLO
 	// is defined as 100x this value measured at low load.
 	AvgServiceCycles float64
@@ -56,6 +60,11 @@ type Results struct {
 	Sweeper core.Stats
 	// SweeperSavedGBps is the DRAM write bandwidth the sweeps avoided.
 	SweeperSavedGBps float64
+	// Sampled carries the sampled-simulation summary — interval counts and
+	// per-metric 95% confidence intervals — and is nil on full detailed
+	// runs. When set, the rate metrics above are interval means and the
+	// counters are sums over the measured intervals.
+	Sampled *SamplingSummary `json:",omitempty"`
 }
 
 func (r Results) String() string {
@@ -152,11 +161,15 @@ func (m *Machine) Run(warmup, measure uint64) Results {
 		m.sampler.Start()
 	}
 	m.start()
+	if m.cfg.Sampling.Enabled() {
+		return m.runSampled(warmup)
+	}
 	m.eng.RunUntil(warmup)
 
 	m.dp.dramLat.Reset()
 	m.reqLat.Reset()
 	m.svcSum, m.svcCount = 0, 0
+	m.amatSum, m.amatCount = 0, 0
 	m.measuring = true
 	m.dp.measuring = true
 	snap := m.snap()
@@ -164,17 +177,22 @@ func (m *Machine) Run(warmup, measure uint64) Results {
 	m.eng.RunUntil(warmup + measure)
 	m.measuring = false
 	m.dp.measuring = false
+	m.finishRun()
+	return m.collect(snap, measure)
+}
+
+// finishRun closes out a run: the sampler's final sample and the debug
+// build's end-of-run structural check (set mapping and tag uniqueness across
+// every cache level).
+func (m *Machine) finishRun() {
 	if m.sampler != nil {
 		m.sampler.Finish(m.eng.Now())
 	}
 	if obs.ProbesEnabled {
-		// End-of-run structural check: set mapping and tag uniqueness
-		// across every cache level.
 		if err := m.dp.hier.CheckInvariants(); err != nil {
 			obs.Failf("machine: cache hierarchy inconsistent after run: %v", err)
 		}
 	}
-	return m.collect(snap, measure)
 }
 
 func (m *Machine) collect(snap windowSnap, measure uint64) Results {
@@ -198,6 +216,9 @@ func (m *Machine) collect(snap windowSnap, measure uint64) Results {
 
 	r.ReqLatMean = m.reqLat.Mean()
 	r.ReqLatP99 = m.reqLat.Percentile(0.99)
+	if m.amatCount > 0 {
+		r.AMATCycles = float64(m.amatSum) / float64(m.amatCount)
+	}
 	if m.svcCount > 0 {
 		r.AvgServiceCycles = float64(m.svcSum) / float64(m.svcCount)
 	}

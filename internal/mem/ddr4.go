@@ -370,6 +370,24 @@ func (m *DDR4) Write(now uint64, a uint64) (done uint64) {
 	return now + m.tBL
 }
 
+// FuncRead records a demand read functionally: the transaction counter
+// advances and the target bank's row buffer opens the addressed row (so
+// row-locality state stays warm across fast-forward intervals), but no bus,
+// bank-timing or write-queue state moves. Fast-forward intervals use this so
+// timing clocks never see functional traffic.
+func (m *DDR4) FuncRead(a uint64) {
+	m.reads++
+	ch, bk, row := m.mapAddr(a)
+	m.channels[ch].banks[bk].openRow = row
+}
+
+// FuncWrite records a write functionally; see FuncRead.
+func (m *DDR4) FuncWrite(a uint64) {
+	m.writes++
+	ch, bk, row := m.mapAddr(a)
+	m.channels[ch].banks[bk].openRow = row
+}
+
 // RegisterMetrics exposes the model's transaction counters and controller
 // queue state to the observability registry. Bus utilization over a sample
 // interval is the delta of mem.bus_busy_cycles divided by interval length

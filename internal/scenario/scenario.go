@@ -42,6 +42,10 @@ type Knobs struct {
 	Workload string `json:"workload,omitempty"`
 	// XMemWorkload names the background stream for collocated cores.
 	XMemWorkload string `json:"xmem_workload,omitempty"`
+	// SampleMode selects sampled simulation ("fixed" or "ci"; empty or
+	// "off" runs fully detailed). The numeric sampling knobs
+	// (sample_detailed_cycles, sample_ff_cycles, ...) live in Set.
+	SampleMode string `json:"sample_mode,omitempty"`
 	// WarmLLC overrides the warm-fill default when non-nil.
 	WarmLLC *bool `json:"warm_llc,omitempty"`
 	// Set holds numeric knob overrides, applied in any order (each knob
@@ -208,6 +212,22 @@ func applyKnob(cfg *machine.Config, knob string, v float64) error {
 		cfg.Shards = int(v)
 	case "nebula_drop_depth":
 		cfg.NeBuLaDropDepth = int(v)
+	case "sample_detailed_cycles":
+		cfg.Sampling.DetailedCycles = uint64(v)
+	case "sample_ff_cycles":
+		cfg.Sampling.FastForwardCycles = uint64(v)
+	case "sample_intervals":
+		cfg.Sampling.Intervals = int(v)
+	case "sample_max_intervals":
+		cfg.Sampling.MaxIntervals = int(v)
+	case "sample_warmup_window":
+		cfg.Sampling.WarmupWindowCycles = uint64(v)
+	case "sample_warmup_tol":
+		cfg.Sampling.WarmupMetricTol = v
+	case "sample_warmup_windows":
+		cfg.Sampling.WarmupWindows = int(v)
+	case "sample_max_rel_ci":
+		cfg.Sampling.MaxRelCI = v
 	case "partition_split":
 		// The §VI-E disjoint partition: the NIC and networked cores get
 		// the first n LLC ways, collocated tenants the rest.
@@ -233,6 +253,9 @@ func (s Spec) baseConfig() (machine.Config, error) {
 	}
 	if s.Machine.XMemWorkload != "" {
 		cfg.XMemWorkload = s.Machine.XMemWorkload
+	}
+	if s.Machine.SampleMode != "" {
+		cfg.Sampling.Mode = s.Machine.SampleMode
 	}
 	if s.Machine.WarmLLC != nil {
 		cfg.WarmLLC = *s.Machine.WarmLLC

@@ -60,6 +60,8 @@ func TestLoadRejectsBadSpecs(t *testing.T) {
 		"bad machine":     `{"name": "x", "machine": {"set": {"ring_slots": 1000}}}`,
 		"bad workload":    `{"name": "x", "machine": {"workload": "nonesuch"}}`,
 		"bad partition":   `{"name": "x", "machine": {"set": {"partition_split": 12}}}`,
+		"bad sample mode": `{"name": "x", "machine": {"sample_mode": "warp"}}`,
+		"bad sample tol":  `{"name": "x", "machine": {"set": {"sample_warmup_tol": 2}}}`,
 		"trailing data":   `{"name": "x"} {"name": "y"}`,
 	}
 	for name, doc := range cases {
@@ -204,5 +206,38 @@ func TestPartitionSplitKnob(t *testing.T) {
 	}
 	if cfg.NICWayMask&cfg.XMemWayMask != 0 {
 		t.Errorf("NIC and X-Mem partitions overlap: %b vs %b", cfg.NICWayMask, cfg.XMemWayMask)
+	}
+}
+
+func TestSamplingKnobs(t *testing.T) {
+	doc := `{"name": "x", "machine": {"sample_mode": "ci", "set": {
+		"sample_detailed_cycles": 16384, "sample_ff_cycles": 49152,
+		"sample_intervals": 4, "sample_max_intervals": 32,
+		"sample_warmup_window": 65536, "sample_warmup_tol": 0.01,
+		"sample_warmup_windows": 3, "sample_max_rel_ci": 0.1}}}`
+	spec, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Config(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := machine.SamplingConfig{
+		Mode:               "ci",
+		DetailedCycles:     16384,
+		FastForwardCycles:  49152,
+		Intervals:          4,
+		MaxIntervals:       32,
+		WarmupWindowCycles: 65536,
+		WarmupMetricTol:    0.01,
+		WarmupWindows:      3,
+		MaxRelCI:           0.1,
+	}
+	if cfg.Sampling != want {
+		t.Errorf("sampling knobs misapplied:\n got %+v\nwant %+v", cfg.Sampling, want)
+	}
+	if !cfg.Sampling.Enabled() {
+		t.Error("sample_mode ci did not enable sampling")
 	}
 }

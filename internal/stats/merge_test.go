@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestHistogramMergeEqualsUnionProperty checks that merging per-part
+// histograms is indistinguishable from recording the union stream into one
+// histogram: identical internal state (hence identical count/mean/percentiles
+// /CDF), over random geometries and overflow fractions including the
+// all-overflow degenerate end and the max-clamp path (top occupied bin
+// partially filled).
+func TestHistogramMergeEqualsUnionProperty(t *testing.T) {
+	f := func(seed int64, binW, bins uint8, n, overFrac16 uint16, parts uint8) bool {
+		c := genCase(seed, binW, bins, n, overFrac16)
+		k := int(parts)%5 + 1
+
+		union := NewHistogram(c.binWidth, c.numBins)
+		for _, v := range c.samples {
+			union.Record(v)
+		}
+
+		merged := NewHistogram(c.binWidth, c.numBins)
+		rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+		partHists := make([]*Histogram, k)
+		for i := range partHists {
+			partHists[i] = NewHistogram(c.binWidth, c.numBins)
+		}
+		for _, v := range c.samples {
+			partHists[rng.Intn(k)].Record(v)
+		}
+		for _, ph := range partHists {
+			merged.Merge(ph)
+		}
+
+		if !reflect.DeepEqual(merged, union) {
+			t.Logf("merged %+v != union %+v", merged, union)
+			return false
+		}
+		// Belt and braces on the derived views the simulator reports.
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+			if merged.Percentile(q) != union.Percentile(q) {
+				t.Logf("q=%g: %d vs %d", q, merged.Percentile(q), union.Percentile(q))
+				return false
+			}
+		}
+		return reflect.DeepEqual(merged.CDF(), union.CDF()) &&
+			merged.Mean() == union.Mean() &&
+			merged.Count() == union.Count() &&
+			merged.Min() == union.Min() &&
+			merged.Max() == union.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMergeEmptyOperands pins the sentinel handling: merging an
+// empty histogram in either direction must not disturb min/max/overflowMin.
+func TestHistogramMergeEmptyOperands(t *testing.T) {
+	full := NewHistogram(2, 4) // binned range [0,8)
+	for _, v := range []uint64{1, 5, 20} {
+		full.Record(v)
+	}
+	want := *full
+
+	full.Merge(NewHistogram(2, 4))
+	if !reflect.DeepEqual(*full, want) {
+		t.Fatalf("merge of empty changed state: %+v vs %+v", *full, want)
+	}
+
+	empty := NewHistogram(2, 4)
+	empty.Merge(full)
+	if !reflect.DeepEqual(*empty, want) {
+		t.Fatalf("merge into empty differs: %+v vs %+v", *empty, want)
+	}
+	if empty.Min() != 1 || empty.Max() != 20 {
+		t.Fatalf("min/max after merge into empty: %d/%d", empty.Min(), empty.Max())
+	}
+}
+
+// TestHistogramMergeMaxClamp exercises the max-clamp path from PR 5 across a
+// merge: the top occupied bin is partially filled, so binned quantile
+// estimates must clamp to the merged (not per-part) recorded max.
+func TestHistogramMergeMaxClamp(t *testing.T) {
+	a := NewHistogram(10, 10)
+	b := NewHistogram(10, 10)
+	for i := 0; i < 9; i++ {
+		a.Record(5)
+	}
+	b.Record(91) // lands in bin [90,100); upper edge 100 exceeds the sample
+
+	m := NewHistogram(10, 10)
+	m.Merge(a)
+	m.Merge(b)
+	if got := m.Percentile(0.999); got != 91 {
+		t.Fatalf("p99.9 = %d, want clamp to merged max 91", got)
+	}
+	if m.Percentile(1) != 91 {
+		t.Fatalf("p100 = %d, want 91", m.Percentile(1))
+	}
+}
+
+// TestHistogramMergeGeometryMismatch checks both mismatch axes panic.
+func TestHistogramMergeGeometryMismatch(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		o    *Histogram
+	}{
+		{"binWidth", NewHistogram(4, 8)},
+		{"numBins", NewHistogram(2, 16)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on geometry mismatch")
+				}
+			}()
+			NewHistogram(2, 8).Merge(tc.o)
+		})
+	}
+}

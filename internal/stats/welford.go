@@ -1,0 +1,102 @@
+package stats
+
+import "math"
+
+// Welford accumulates a running mean and variance of float64 observations
+// using Welford's online algorithm, which is numerically stable for the
+// long streams of per-interval means the sampled-simulation mode produces.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdErr returns the standard error of the mean, or 0 with fewer than two
+// observations.
+func (w *Welford) StdErr() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.Var() / float64(w.n))
+}
+
+// tTable95 holds two-sided Student-t critical values at 95% confidence for
+// degrees of freedom 1..30; beyond that the normal approximation 1.96 is
+// close enough for interval-count purposes.
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit95 returns the two-sided 95% Student-t critical value for df degrees
+// of freedom.
+func tCrit95(df uint64) float64 {
+	if df == 0 {
+		return math.Inf(1)
+	}
+	if df <= uint64(len(tTable95)) {
+		return tTable95[df-1]
+	}
+	return 1.96
+}
+
+// CI95 returns the half-width of the two-sided 95% confidence interval for
+// the mean (Student-t over n-1 degrees of freedom), or 0 with fewer than two
+// observations.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return tCrit95(w.n-1) * w.StdErr()
+}
+
+// Estimate snapshots the accumulator as a reportable point estimate.
+func (w *Welford) Estimate() Estimate {
+	return Estimate{Mean: w.mean, HalfWidth: w.CI95(), N: w.n}
+}
+
+// Estimate is a point estimate with its 95% confidence half-width, as
+// reported by the sampled-simulation mode for each aggregated metric.
+type Estimate struct {
+	Mean      float64 `json:"mean"`
+	HalfWidth float64 `json:"ci95_half_width"`
+	N         uint64  `json:"intervals"`
+}
+
+// RelHalfWidth returns the CI half-width as a fraction of the mean's
+// magnitude, or +Inf when the mean is zero but the half-width is not (no
+// meaningful relative precision yet). A zero estimate with zero half-width
+// reports 0: it is exactly resolved.
+func (e Estimate) RelHalfWidth() float64 {
+	if e.Mean == 0 {
+		if e.HalfWidth == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return e.HalfWidth / math.Abs(e.Mean)
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naive two-pass mean/variance for cross-checking.
+func naiveMeanVar(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	return mean, variance / float64(len(xs)-1)
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*3 + 100
+			w.Add(xs[i])
+		}
+		mean, variance := naiveMeanVar(xs)
+		if math.Abs(w.Mean()-mean) > 1e-9*math.Abs(mean) {
+			t.Fatalf("n=%d mean %g vs %g", n, w.Mean(), mean)
+		}
+		if math.Abs(w.Var()-variance) > 1e-9*math.Max(variance, 1) {
+			t.Fatalf("n=%d var %g vs %g", n, w.Var(), variance)
+		}
+		if w.N() != uint64(n) {
+			t.Fatalf("n=%d N=%d", n, w.N())
+		}
+	}
+}
+
+func TestWelfordCI95(t *testing.T) {
+	var w Welford
+	if w.CI95() != 0 {
+		t.Fatal("empty accumulator must report zero half-width")
+	}
+	w.Add(10)
+	if w.CI95() != 0 {
+		t.Fatal("single observation must report zero half-width")
+	}
+	w.Add(14)
+	// n=2: mean 12, s=2√2, stderr=2, t(df=1)=12.706 → half-width 25.412.
+	if hw := w.CI95(); math.Abs(hw-25.412) > 1e-9 {
+		t.Fatalf("n=2 half-width %g, want 25.412", hw)
+	}
+
+	// Constant stream: half-width collapses to zero at any n.
+	var c Welford
+	for i := 0; i < 40; i++ {
+		c.Add(5)
+	}
+	if c.CI95() != 0 {
+		t.Fatalf("constant stream half-width %g", c.CI95())
+	}
+
+	// Large n uses the normal critical value.
+	var big Welford
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		big.Add(rng.NormFloat64())
+	}
+	want := 1.96 * big.StdErr()
+	if math.Abs(big.CI95()-want) > 1e-12 {
+		t.Fatalf("large-n half-width %g, want %g", big.CI95(), want)
+	}
+}
+
+func TestTCrit95Table(t *testing.T) {
+	if tCrit95(1) != 12.706 || tCrit95(30) != 2.042 || tCrit95(31) != 1.96 {
+		t.Fatalf("t-table lookup broken: %g %g %g", tCrit95(1), tCrit95(30), tCrit95(31))
+	}
+	// Critical values must decrease toward the normal limit.
+	prev := math.Inf(1)
+	for df := uint64(1); df <= 40; df++ {
+		v := tCrit95(df)
+		if v > prev {
+			t.Fatalf("t-table non-monotone at df=%d", df)
+		}
+		prev = v
+	}
+}
+
+func TestEstimateRelHalfWidth(t *testing.T) {
+	if r := (Estimate{Mean: 100, HalfWidth: 5}).RelHalfWidth(); r != 0.05 {
+		t.Fatalf("rel = %g", r)
+	}
+	if r := (Estimate{Mean: -100, HalfWidth: 5}).RelHalfWidth(); r != 0.05 {
+		t.Fatalf("negative-mean rel = %g", r)
+	}
+	if r := (Estimate{}).RelHalfWidth(); r != 0 {
+		t.Fatalf("zero estimate rel = %g", r)
+	}
+	if r := (Estimate{HalfWidth: 1}).RelHalfWidth(); !math.IsInf(r, 1) {
+		t.Fatalf("zero-mean nonzero-width rel = %g", r)
+	}
+}
