@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e bench-parallel bench-sampling race-parallel check results obs-smoke sampling-smoke test-debug
+.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e bench-parallel bench-sampling bench-cluster race-parallel check results obs-smoke sampling-smoke cluster-smoke test-debug
 
 all: check
 
@@ -58,6 +58,11 @@ bench-parallel:
 bench-sampling:
 	$(GO) run ./cmd/benchsampling -out BENCH_sampling.json
 
+# Cluster node-count scaling: records simcyc/s and remote-memory traffic at
+# 1/2/4/8 nodes to BENCH_cluster.json (with a bit-identical rerun check).
+bench-cluster:
+	$(GO) run ./cmd/benchcluster -out BENCH_cluster.json
+
 # Race detection focused on the parallel engine's cross-shard paths, with
 # the invariant probes compiled in and the harvest pool forced on. Includes
 # the sampled-simulation tests: the error-bound validation plus the
@@ -67,9 +72,9 @@ race-parallel:
 		./internal/sim/ ./internal/machine/ \
 		-run 'Parallel|Shard|Sharded|Lookahead|CancelDuringEpoch|Sampl'
 
-bench: bench-engine bench-mem bench-e2e bench-parallel bench-sampling
+bench: bench-engine bench-mem bench-e2e bench-parallel bench-sampling bench-cluster
 
-check: build vet lint test race bench-engine sampling-smoke
+check: build vet lint test race bench-engine sampling-smoke cluster-smoke
 
 # Observability smoke: drive the CLI with every exporter enabled against the
 # kvs scenario, then validate the artifacts (CSV/JSON structure) in-process.
@@ -87,6 +92,17 @@ sampling-smoke:
 	$(GO) run ./cmd/sweepersim -scenario examples/scenarios/kvs.json \
 		-warmup 500000 -measure 100000 -sample-mode fixed
 	$(GO) test ./internal/machine -run TestSamplingSmokeBuiltins -count=1
+
+# Cluster smoke: drive the CLI through the shipped 4-node rack scenario with
+# the manifest exporter on, then validate the manifest (per-node, fabric and
+# balancer metrics) in-process.
+cluster-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/sweepersim -scenario examples/scenarios/cluster_kvs.json \
+		-warmup 200000 -measure 150000 \
+		-manifest artifacts/cluster_manifest.json
+	SWEEPER_CLUSTER_MANIFEST=$(CURDIR)/artifacts/cluster_manifest.run01.json \
+		$(GO) test ./internal/cluster -run TestClusterManifestSmoke -count=1 -v
 
 # Debug build with the invariant probes compiled in (ring slot conservation,
 # DRAM timing monotonicity, cache inclusion, DDIO way-mask bounds).

@@ -17,6 +17,7 @@ import (
 	"sweeper"
 	"sweeper/internal/addr"
 	"sweeper/internal/cache"
+	"sweeper/internal/cluster"
 	"sweeper/internal/experiments"
 	"sweeper/internal/machine"
 	"sweeper/internal/mem"
@@ -370,6 +371,28 @@ func BenchmarkRunOncePooled(b *testing.B) {
 		pool.Put(m)
 		if r.Served == 0 {
 			b.Fatal("no requests served")
+		}
+	}
+}
+
+// BenchmarkClusterRunOnce is the rack-scale end-to-end benchmark: one
+// complete 4-node cluster run (build, warmup, measure) — the sharded KVS
+// behind the flow-hash balancer, remote reads crossing the fabric. Compare
+// against BenchmarkRunOnce for the per-node overhead of the cluster layer;
+// `make bench-cluster` records the node-count scaling sweep to
+// BENCH_cluster.json.
+func BenchmarkClusterRunOnce(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		node := sweeper.DefaultConfig()
+		node.OfferedMrps = 8
+		cl := cluster.MustNew(cluster.Config{Node: node, Nodes: 4})
+		r := cl.Run(200_000, 400_000)
+		if r.Served == 0 {
+			b.Fatal("cluster served nothing")
+		}
+		if r.RemoteReads == 0 {
+			b.Fatal("cluster run never crossed the fabric")
 		}
 	}
 }

@@ -1,0 +1,52 @@
+package addr
+
+import "fmt"
+
+// Remote-address encoding for cluster runs. Every node of a homogeneous
+// cluster lays out the same local address space, so a cross-node reference
+// is a (home node, local address) pair packed into one uint64: the top bit
+// flags the address as remote and the node id rides in the bits above any
+// local address. Workloads emit remote addresses in their access plans; the
+// machine routes them to the cluster's fabric path instead of the local
+// hierarchy.
+const (
+	// remoteFlag marks an address as referring to another node's memory.
+	remoteFlag = uint64(1) << 63
+	// remoteNodeShift/remoteNodeMask carve the node id out of bits 48..62,
+	// far above any local address (spaces start at 1 GiB and grow by at
+	// most a few GiB).
+	remoteNodeShift = 48
+	remoteNodeMask  = uint64(1)<<15 - 1
+
+	// MaxNodes bounds cluster sizes representable in a remote address.
+	MaxNodes = int(remoteNodeMask) + 1
+
+	// maxLocal is the largest encodable local address.
+	maxLocal = uint64(1)<<remoteNodeShift - 1
+)
+
+// Remote packs a home node id and a local address on that node into one
+// remote address.
+func Remote(node int, local uint64) uint64 {
+	if node < 0 || node >= MaxNodes {
+		panic(fmt.Sprintf("addr: remote node %d out of range [0,%d)", node, MaxNodes))
+	}
+	if local > maxLocal {
+		panic(fmt.Sprintf("addr: local address %#x too large to encode remotely", local))
+	}
+	return remoteFlag | uint64(node)<<remoteNodeShift | local
+}
+
+// IsRemote reports whether a names another node's memory.
+func IsRemote(a uint64) bool { return a&remoteFlag != 0 }
+
+// RemoteParts unpacks a remote address into its home node id and the local
+// address on that node. It panics on a non-remote address: callers branch on
+// IsRemote first, and silently decoding a local address would alias real
+// memory.
+func RemoteParts(a uint64) (node int, local uint64) {
+	if !IsRemote(a) {
+		panic(fmt.Sprintf("addr: RemoteParts on local address %#x", a))
+	}
+	return int(a >> remoteNodeShift & remoteNodeMask), a & maxLocal
+}

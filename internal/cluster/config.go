@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sweeper/internal/addr"
+	"sweeper/internal/fabric"
+	"sweeper/internal/machine"
+)
+
+// Config assembles a rack: Nodes homogeneous machines built from the Node
+// template, joined by a fabric, fed by a load-balancer front end.
+type Config struct {
+	// Node is the per-node machine configuration. The cluster stamps
+	// NodeID/ClusterNodes itself and derives node i's seed as
+	// Node.Seed + i*7919, so node 0 of a one-node cluster runs exactly
+	// the standalone machine Node describes. OfferedMrps is per-node:
+	// the front end injects Nodes times that rate across the rack.
+	Node machine.Config
+	// Nodes is the rack size; 1 is a valid (degenerate) cluster.
+	Nodes int
+	// Topology selects the fabric wiring ("star", "mesh"; empty = star).
+	Topology string
+	// LBPolicy names the front end's node-selection policy from the
+	// policy registry (empty = DefaultPolicy). Ignored under closed-loop
+	// traffic, where every node keeps its own generator.
+	LBPolicy string
+	// Fabric sizes the interconnect; the zero value selects
+	// fabric.DefaultConfig.
+	Fabric fabric.Config
+}
+
+// fabricConfig resolves the zero-value default.
+func (c *Config) fabricConfig() fabric.Config {
+	if c.Fabric == (fabric.Config{}) {
+		return fabric.DefaultConfig()
+	}
+	return c.Fabric
+}
+
+// Validate reports configuration errors before assembly.
+func (c *Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("cluster: need at least one node, got %d", c.Nodes)
+	}
+	if c.Nodes > addr.MaxNodes {
+		return fmt.Errorf("cluster: %d nodes exceeds the %d the remote-address encoding carries", c.Nodes, addr.MaxNodes)
+	}
+	if _, err := fabric.ParseTopology(c.Topology); err != nil {
+		return err
+	}
+	if _, err := NewPolicy(c.LBPolicy); err != nil {
+		return err
+	}
+	if err := c.fabricConfig().Validate(); err != nil {
+		return err
+	}
+	if c.Node.Sampling.Enabled() {
+		return fmt.Errorf("cluster: sampled simulation is not supported on cluster nodes")
+	}
+	node := c.Node
+	node.NodeID, node.ClusterNodes = 0, 0
+	if err := node.Validate(); err != nil {
+		return fmt.Errorf("cluster: node config: %w", err)
+	}
+	return nil
+}

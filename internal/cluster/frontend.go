@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sweeper/internal/machine"
+	"sweeper/internal/obs"
+	"sweeper/internal/sim"
+	"sweeper/internal/stats"
+	"sweeper/internal/workload"
+)
+
+// frontend is the cluster's load balancer: one open-loop Poisson arrival
+// process for the whole rack, with a pluggable Policy choosing the
+// destination node per request. It mirrors nic.PoissonGen draw for draw —
+// same rng seed, same ExpFloat64/Intn/Uint64 order per arrival — so a
+// one-node cluster injects the exact packet sequence the standalone
+// machine's own generator would, and Results stay bit-identical. Policies
+// are rng-free by contract, so the mirroring survives any node choice.
+type frontend struct {
+	eng     *sim.Engine
+	nodes   []*machine.Machine
+	pol     Policy
+	rng     *rand.Rand
+	meanGap float64 // cycles between arrivals across the whole rack
+	size    uint64
+	sizer   func(tag uint64) uint64
+	cores   int // arrivals target rings [0, cores) on the chosen node
+	stopped bool
+
+	// offered counts injection attempts per node; each node's machine
+	// reads its own slot in place of a suppressed local generator.
+	offered []uint64
+}
+
+func newFrontend(eng *sim.Engine, cfg *Config, pol Policy) *frontend {
+	return &frontend{
+		eng:     eng,
+		pol:     pol,
+		rng:     rand.New(rand.NewSource(cfg.Node.Seed)),
+		meanGap: stats.CyclesPerSecond(cfg.Node.OfferedMrps*1e6*float64(cfg.Nodes), cfg.Node.FreqHz),
+		size:    cfg.Node.PacketBytes,
+		cores:   cfg.Node.NetCores,
+		offered: make([]uint64, cfg.Nodes),
+	}
+}
+
+// wire attaches the built nodes and lifts the workload's request sizer
+// (RequestBytes is a pure function of the tag, so any node's instance
+// serves).
+func (fe *frontend) wire(nodes []*machine.Machine) {
+	fe.nodes = nodes
+	if s, ok := nodes[0].Workload().(workload.RequestSizer); ok {
+		fe.sizer = s.RequestBytes
+	}
+}
+
+// Start schedules the first arrival. The cluster runs it in node 0's
+// generator slot (machine.StartNode startGen), so the event's sequence
+// number matches a standalone machine's generator start.
+func (fe *frontend) Start() { fe.scheduleNext() }
+
+// Stop halts generation after any already-scheduled arrival.
+func (fe *frontend) Stop() { fe.stopped = true }
+
+// OnEvent implements sim.Sink.
+func (fe *frontend) OnEvent(now sim.Cycle, _ uint64) { fe.arrive(now) }
+
+func (fe *frontend) scheduleNext() {
+	gap := fe.rng.ExpFloat64() * fe.meanGap
+	fe.eng.ScheduleAfter(uint64(gap), fe, 0)
+}
+
+func (fe *frontend) arrive(now uint64) {
+	if fe.stopped {
+		return
+	}
+	core := fe.rng.Intn(fe.cores)
+	tag := fe.rng.Uint64()
+	node := fe.pol.Pick(tag, len(fe.nodes), fe.load)
+	fe.offered[node]++
+	size := fe.size
+	if fe.sizer != nil {
+		size = fe.sizer(tag)
+	}
+	fe.nodes[node].NIC().Inject(now, core, size, tag)
+	fe.scheduleNext()
+}
+
+func (fe *frontend) load(node int) int {
+	return fe.nodes[node].NIC().TotalQueued()
+}
+
+// Offered sums injection attempts across the rack.
+func (fe *frontend) Offered() uint64 {
+	var t uint64
+	for _, o := range fe.offered {
+		t += o
+	}
+	return t
+}
+
+// RegisterMetrics exposes the balancer's per-node spray counters.
+func (fe *frontend) RegisterMetrics(r *obs.Registry) {
+	for i := range fe.offered {
+		i := i
+		r.Counter(fmt.Sprintf("lb.node%d.offered", i), func() uint64 { return fe.offered[i] })
+	}
+}

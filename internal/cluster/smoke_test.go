@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"sweeper/internal/obs"
+)
+
+// TestClusterManifestSmoke validates a cluster run's manifest. When
+// SWEEPER_CLUSTER_MANIFEST is set (the `make cluster-smoke` path), it
+// checks the manifest the sweepersim CLI wrote for the shipped cluster
+// scenario; otherwise it generates its own from a short in-process rack
+// run, so the manifest contract is also guarded under plain `go test`.
+func TestClusterManifestSmoke(t *testing.T) {
+	var data []byte
+	if path := os.Getenv("SWEEPER_CLUSTER_MANIFEST"); path != "" {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = b
+	} else {
+		cl := MustNew(quickCluster(2))
+		r := cl.Run(150_000, 100_000)
+		var buf bytes.Buffer
+		if err := obs.WriteManifest(&buf, cl.BuildManifest("cluster smoke", r)); err != nil {
+			t.Fatal(err)
+		}
+		data = buf.Bytes()
+	}
+
+	var man struct {
+		Config struct {
+			Nodes int `json:"Nodes"`
+		} `json:"config"`
+		Results struct {
+			Nodes          []json.RawMessage `json:"Nodes"`
+			ThroughputMrps float64           `json:"ThroughputMrps"`
+			RemoteReads    uint64            `json:"RemoteReads"`
+		} `json:"results"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatalf("cluster manifest does not parse: %v", err)
+	}
+	if man.Config.Nodes < 2 {
+		t.Fatalf("manifest config has %d nodes, want a real cluster", man.Config.Nodes)
+	}
+	if len(man.Results.Nodes) != man.Config.Nodes {
+		t.Fatalf("manifest has %d node windows for %d nodes", len(man.Results.Nodes), man.Config.Nodes)
+	}
+	if man.Results.ThroughputMrps <= 0 {
+		t.Error("manifest reports no throughput")
+	}
+	if man.Results.RemoteReads == 0 {
+		t.Error("manifest reports no remote reads despite a sharded workload")
+	}
+	if len(man.Metrics) == 0 {
+		t.Fatal("manifest has no closing metric values")
+	}
+	// Per-node namespacing for every node, plus fabric and balancer views.
+	for i := 0; i < man.Config.Nodes; i++ {
+		for _, suffix := range []string{"cpu.served", "mem.reads"} {
+			key := fmt.Sprintf("node%d.%s", i, suffix)
+			if _, ok := man.Metrics[key]; !ok {
+				t.Errorf("manifest missing per-node metric %q", key)
+			}
+		}
+	}
+	for _, key := range []string{"fabric.messages", "fabric.tx_bytes", "fabric.drops", "cluster.remote_reads", "lb.node0.offered"} {
+		if _, ok := man.Metrics[key]; !ok {
+			t.Errorf("manifest missing %q", key)
+		}
+	}
+}

@@ -322,8 +322,8 @@ func TestCellFromResults(t *testing.T) {
 
 func TestRegistryNames(t *testing.T) {
 	names := Names()
-	want := []string{"alternatives", "fig1", "fig10", "fig2", "fig5", "fig6",
-		"fig7", "fig8", "fig9", "policies"}
+	want := []string{"alternatives", "cluster", "fig1", "fig10", "fig2", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "policies"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}

@@ -366,6 +366,7 @@ func Registry() map[string]func(Scale) []Table {
 		"fig10":        Fig10,
 		"policies":     Policies,
 		"alternatives": Alternatives,
+		"cluster":      ClusterScaling,
 	}
 }
 

@@ -1,0 +1,171 @@
+package fabric
+
+import (
+	"testing"
+
+	"sweeper/internal/obs"
+)
+
+const testFreq = 3.2e9
+
+// cfg64 is a small deterministic fabric: 64 cycles of serialization per
+// 64B message (1 cycle/byte), 10-cycle hops, 5-cycle switch, 4-deep ports.
+func cfg64() Config {
+	return Config{
+		LinkGBps:        testFreq / 1e9, // 1 cycle per byte
+		LinkLatCycles:   10,
+		SwitchLatCycles: 5,
+		QueueDepth:      4,
+		RetryCycles:     100,
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	for s, want := range map[string]Topology{"": TopoStar, "star": TopoStar, "mesh": TopoMesh} {
+		got, err := ParseTopology(s)
+		if err != nil || got != want {
+			t.Errorf("ParseTopology(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseTopology("torus"); err == nil {
+		t.Error("ParseTopology accepted unknown topology")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := map[string]func(*Config){
+		"zero bandwidth":     func(c *Config) { c.LinkGBps = 0 },
+		"negative bandwidth": func(c *Config) { c.LinkGBps = -1 },
+		"zero queue":         func(c *Config) { c.QueueDepth = 0 },
+		"zero retry":         func(c *Config) { c.RetryCycles = 0 },
+	}
+	for name, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// TestStarLatency checks the uncongested star path: serialization + wire +
+// switch + wire.
+func TestStarLatency(t *testing.T) {
+	f := New(4, TopoStar, cfg64(), testFreq)
+	done, ok := f.Send(1000, 0, 2, 64)
+	if !ok {
+		t.Fatal("uncongested send dropped")
+	}
+	// uplink 64, wire 10, switch 5, downlink 64, wire 10.
+	if want := uint64(1000 + 64 + 10 + 5 + 64 + 10); done != want {
+		t.Fatalf("delivery at %d, want %d", done, want)
+	}
+	if s := f.Stats(); s.Messages != 1 || s.Bytes != 64 || s.Drops != 0 {
+		t.Fatalf("stats %+v after one send", s)
+	}
+}
+
+// TestStarSerialization checks that back-to-back messages from one source
+// serialize on the shared uplink.
+func TestStarSerialization(t *testing.T) {
+	f := New(2, TopoStar, cfg64(), testFreq)
+	d1, _ := f.Send(0, 0, 1, 64)
+	d2, _ := f.Send(0, 0, 1, 64)
+	if d2 != d1+64 {
+		t.Fatalf("second message delivered at %d, want %d (one serialization later)", d2, d1+64)
+	}
+}
+
+// TestStarDropsAndReliable fills one output port from many sources until it
+// tail-drops, then checks SendReliable retries through the congestion.
+func TestStarDropsAndReliable(t *testing.T) {
+	f := New(8, TopoStar, cfg64(), testFreq)
+	drops := 0
+	for src := 1; src < 8; src++ {
+		for i := 0; i < 4; i++ {
+			if _, ok := f.Send(0, src, 0, 64); !ok {
+				drops++
+			}
+		}
+	}
+	if drops == 0 {
+		t.Fatal("no drops despite 28 simultaneous messages into a 4-deep port")
+	}
+	if got := f.Stats().Drops; got != uint64(drops) {
+		t.Fatalf("drop counter %d, want %d", got, drops)
+	}
+}
+
+// TestSendReliableRetries backs up a port with large messages, then checks a
+// small reliable message is dropped (its 64-cycle queue bound is far below
+// the backlog), retries on the backoff, and eventually lands.
+func TestSendReliableRetries(t *testing.T) {
+	f := New(4, TopoStar, cfg64(), testFreq)
+	for i := 0; i < 4; i++ {
+		if _, ok := f.Send(0, 2, 0, 1024); !ok {
+			t.Fatal("large fill send dropped")
+		}
+	}
+	done := f.SendReliable(0, 1, 0, 64)
+	if f.Stats().Retries == 0 {
+		t.Fatal("SendReliable into a backed-up port recorded no retries")
+	}
+	if drained := f.down[0]; done < drained {
+		t.Fatalf("reliable delivery at %d before the port drained at %d", done, drained)
+	}
+}
+
+// TestMesh checks dedicated pair links: no drops, independent directions.
+func TestMesh(t *testing.T) {
+	f := New(3, TopoMesh, cfg64(), testFreq)
+	d1, ok1 := f.Send(0, 0, 1, 64)
+	d2, ok2 := f.Send(0, 1, 0, 64) // opposite direction, independent link
+	if !ok1 || !ok2 {
+		t.Fatal("mesh dropped")
+	}
+	if want := uint64(64 + 10); d1 != want || d2 != want {
+		t.Fatalf("mesh deliveries %d/%d, want %d", d1, d2, want)
+	}
+	d3, _ := f.Send(0, 0, 1, 64) // same link as d1: serializes behind it
+	if d3 != d1+64 {
+		t.Fatalf("mesh same-link delivery %d, want %d", d3, d1+64)
+	}
+}
+
+func TestSelfSendFree(t *testing.T) {
+	f := New(2, TopoStar, cfg64(), testFreq)
+	done, ok := f.Send(42, 1, 1, 4096)
+	if !ok || done != 42 {
+		t.Fatalf("self-send = (%d, %v), want (42, true)", done, ok)
+	}
+	if s := f.Stats(); s.Messages != 0 {
+		t.Fatalf("self-send counted as fabric traffic: %+v", s)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Messages: 10, Bytes: 640, Drops: 2, Retries: 1}
+	b := Stats{Messages: 4, Bytes: 256, Drops: 1, Retries: 0}
+	got := a.Sub(b)
+	want := Stats{Messages: 6, Bytes: 384, Drops: 1, Retries: 1}
+	if got != want {
+		t.Fatalf("Sub = %+v, want %+v", got, want)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	f := New(2, TopoStar, cfg64(), testFreq)
+	f.Send(0, 0, 1, 64)
+	r := obs.NewRegistry()
+	f.RegisterMetrics(r)
+	final := r.Final(0)
+	if final["fabric.messages"] != 1 || final["fabric.tx_bytes"] != 64 {
+		t.Fatalf("metrics %v", final)
+	}
+	if final["fabric.max_port_backlog"] <= 0 {
+		t.Fatalf("backlog gauge %g, want > 0 right after a send", final["fabric.max_port_backlog"])
+	}
+}

@@ -132,6 +132,16 @@ type Config struct {
 	// value (Mode "") runs fully detailed.
 	Sampling SamplingConfig
 
+	// NodeID and ClusterNodes place this machine in a cluster: NodeID in
+	// [0, ClusterNodes) identifies the node, ClusterNodes the cluster
+	// size. Standalone machines leave both zero; cluster.New stamps them
+	// onto every node it assembles (New rejects ClusterNodes > 1 — a
+	// multi-node machine only makes sense behind the cluster layer, which
+	// owns the shared engine and the fabric). NodeID offsets engine shard
+	// placement and seeds so homogeneous nodes stay decorrelated.
+	NodeID       int
+	ClusterNodes int
+
 	// Seed makes runs reproducible.
 	Seed int64
 }
@@ -283,6 +293,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("machine: SpikeProb %g outside [0,1]", c.SpikeProb)
 	case c.Shards < -1:
 		return fmt.Errorf("machine: Shards must be -1 (auto), 0/1 (sequential) or a shard count, got %d", c.Shards)
+	case c.ClusterNodes < 0:
+		return fmt.Errorf("machine: ClusterNodes must be non-negative, got %d", c.ClusterNodes)
+	case c.NodeID < 0 || c.NodeID >= max(c.ClusterNodes, 1):
+		return fmt.Errorf("machine: NodeID %d outside [0,%d)", c.NodeID, max(c.ClusterNodes, 1))
 	}
 	if err := c.Sampling.validate(); err != nil {
 		return err
@@ -323,9 +337,17 @@ func (c *Config) respSlotBytes() uint64 {
 // shared domain, never more than the host can run — and anything below 2
 // selects the sequential engine.
 func (c *Config) resolveShards() int {
+	return c.EngineShards(c.NetCores + c.XMemCores)
+}
+
+// EngineShards resolves the Shards knob for an engine driving totalCores
+// simulated cores. A standalone machine passes its own core count; the
+// cluster layer passes the sum across nodes, so the auto setting scales the
+// shared engine with the whole rack.
+func (c *Config) EngineShards(totalCores int) int {
 	n := c.Shards
 	if n == -1 {
-		n = c.NetCores + c.XMemCores + 1
+		n = totalCores + 1
 		if mp := runtime.GOMAXPROCS(0); n > mp {
 			n = mp
 		}
@@ -344,3 +366,7 @@ func (c *Config) resolveShards() int {
 func (c *Config) lookaheadCycles() uint64 {
 	return c.Cache.NoCLat + c.Cache.LLCLat
 }
+
+// LookaheadCycles exposes the conservative epoch width to external engine
+// owners (the cluster layer configures the shared engine itself).
+func (c *Config) LookaheadCycles() uint64 { return c.lookaheadCycles() }

@@ -13,13 +13,18 @@ import (
 // replace the components its read closures capture.
 func (m *Machine) Metrics() *obs.Registry {
 	if m.metrics == nil {
-		m.metrics = m.buildRegistry()
+		r := obs.NewRegistry()
+		m.RegisterMetrics(r)
+		m.metrics = r
 	}
 	return m.metrics
 }
 
-func (m *Machine) buildRegistry() *obs.Registry {
-	r := obs.NewRegistry()
+// RegisterMetrics registers every machine metric on r. Standalone machines
+// get a root registry through Metrics; the cluster layer passes each node a
+// "nodeN."-prefixed view of one shared registry instead, so a rack's
+// manifest namespaces per-node metrics without the nodes knowing.
+func (m *Machine) RegisterMetrics(r *obs.Registry) {
 	m.dp.registerMetrics(r)
 	m.nicD.RegisterMetrics(r)
 	if m.pgen != nil {
@@ -45,7 +50,6 @@ func (m *Machine) buildRegistry() *obs.Registry {
 		x.RegisterMetrics(r)
 	}
 	r.Histogram("req.latency", m.reqLat)
-	return r
 }
 
 // registerMetrics exposes the memory side: the per-kind DRAM transaction

@@ -6,6 +6,7 @@ import (
 	"sweeper/internal/core"
 	"sweeper/internal/nic"
 	"sweeper/internal/obs"
+	"sweeper/internal/sim"
 	"sweeper/internal/stats"
 )
 
@@ -99,7 +100,15 @@ type windowSnap struct {
 // (and tenant cores) on their own shards, the traffic generators and the
 // dynamic-DDIO controller on the shared-domain shard 0. Self-rescheduling
 // events inherit their shard from the dispatching event afterwards.
-func (m *Machine) start() {
+func (m *Machine) start() { m.startWith(nil) }
+
+// startWith is start with the generator slot pluggable: startGen, when
+// non-nil, runs at exactly the point the machine's own open-loop generator
+// would start — after the cores, on the shared-domain shard, before the
+// dynamic-DDIO controller. The cluster front end occupies this slot on
+// external-traffic nodes, so event sequence numbers (and therefore
+// dispatch order) match a standalone machine exactly.
+func (m *Machine) startWith(startGen func()) {
 	for i, c := range m.cores {
 		m.eng.SetShard(m.shardOf(i))
 		c.Start()
@@ -108,11 +117,15 @@ func (m *Machine) start() {
 		m.eng.SetShard(m.shardOf(m.cfg.NetCores + i))
 		x.Start()
 	}
-	m.eng.SetShard(0)
-	if m.cgen != nil {
+	m.eng.SetShard(sim.SharedShard)
+	switch {
+	case m.cgen != nil:
 		m.cgen.Start(m.eng.Now())
-	} else {
+	case m.pgen != nil:
 		m.pgen.Start()
+	}
+	if startGen != nil {
+		startGen()
 	}
 	if m.cfg.DynamicDDIOEpoch > 0 && m.cfg.NICMode == nic.ModeDDIO {
 		m.dp.startDynamicDDIO(m.cfg.DDIOWays)
@@ -137,6 +150,8 @@ func (m *Machine) snap() windowSnap {
 	}
 	if m.pgen != nil {
 		s.offered = m.pgen.Offered()
+	} else if m.extOffered != nil {
+		s.offered = m.extOffered()
 	}
 	for _, x := range m.xmem {
 		s.xmemAcc += x.Accesses()
@@ -148,6 +163,20 @@ func (m *Machine) snap() windowSnap {
 // Run executes the machine for warmup cycles, then measures for measure
 // cycles, returning the window's results. A machine runs exactly once.
 func (m *Machine) Run(warmup, measure uint64) Results {
+	m.beginRun(warmup, measure)
+	m.start()
+	if m.cfg.Sampling.Enabled() {
+		return m.runSampled(warmup)
+	}
+	m.eng.RunUntil(warmup)
+	m.BeginWindow()
+	m.eng.RunUntil(warmup + measure)
+	return m.EndWindow(measure)
+}
+
+// beginRun performs the once-per-run bookkeeping shared by Run and
+// StartNode: the run-once guard, window recording, and sampler arming.
+func (m *Machine) beginRun(warmup, measure uint64) {
 	if m.ran {
 		panic("machine: Run called twice; build a fresh Machine per run")
 	}
@@ -160,25 +189,43 @@ func (m *Machine) Run(warmup, measure uint64) Results {
 		m.sampler = obs.NewSampler(m.eng, m.Metrics(), m.sampleCadence(warmup+measure))
 		m.sampler.Start()
 	}
-	m.start()
-	if m.cfg.Sampling.Enabled() {
-		return m.runSampled(warmup)
-	}
-	m.eng.RunUntil(warmup)
+}
 
+// StartNode begins a cluster node's run on the shared engine: run-once
+// bookkeeping plus every component's initial event. startGen, when
+// non-nil, runs in the node's generator slot (see startWith); the cluster
+// passes its front end's Start for exactly one node so the shared arrival
+// process enters the event sequence where a local generator would. The
+// engine is not advanced — the cluster drives RunUntil across all nodes
+// and brackets the measurement window with BeginWindow/EndWindow.
+func (m *Machine) StartNode(warmup, measure uint64, startGen func()) {
+	if m.cfg.Sampling.Enabled() {
+		panic("machine: sampled simulation is not supported on cluster nodes")
+	}
+	m.beginRun(warmup, measure)
+	m.startWith(startGen)
+}
+
+// BeginWindow resets the window accumulators and opens the measurement
+// window. Run calls it at the warmup boundary; the cluster layer calls it
+// on every node when the shared engine reaches the cluster's warmup.
+func (m *Machine) BeginWindow() {
 	m.dp.dramLat.Reset()
 	m.reqLat.Reset()
 	m.svcSum, m.svcCount = 0, 0
 	m.amatSum, m.amatCount = 0, 0
 	m.measuring = true
 	m.dp.measuring = true
-	snap := m.snap()
+	m.winSnap = m.snap()
+}
 
-	m.eng.RunUntil(warmup + measure)
+// EndWindow closes the measurement window opened by BeginWindow and
+// returns its Results.
+func (m *Machine) EndWindow(measure uint64) Results {
 	m.measuring = false
 	m.dp.measuring = false
 	m.finishRun()
-	return m.collect(snap, measure)
+	return m.collect(m.winSnap, measure)
 }
 
 // finishRun closes out a run: the sampler's final sample and the debug
@@ -225,6 +272,8 @@ func (m *Machine) collect(snap windowSnap, measure uint64) Results {
 
 	if m.pgen != nil {
 		r.Offered = m.pgen.Offered() - snap.offered
+	} else if m.extOffered != nil {
+		r.Offered = m.extOffered() - snap.offered
 	}
 	r.Dropped = m.nicD.Dropped() - snap.dropped
 	if r.Offered > 0 {

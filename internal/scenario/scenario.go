@@ -10,7 +10,9 @@ import (
 	"strings"
 
 	"sweeper/internal/cache"
+	"sweeper/internal/cluster"
 	"sweeper/internal/core"
+	"sweeper/internal/fabric"
 	"sweeper/internal/machine"
 	"sweeper/internal/nic"
 )
@@ -48,6 +50,13 @@ type Knobs struct {
 	SampleMode string `json:"sample_mode,omitempty"`
 	// WarmLLC overrides the warm-fill default when non-nil.
 	WarmLLC *bool `json:"warm_llc,omitempty"`
+	// Topology and LBPolicy select the cluster fabric wiring and the
+	// load-balancer policy when the "nodes" knob raises the run to a
+	// rack; both default empty (star, cluster.DefaultPolicy). The node
+	// count itself and the fabric_* sizing are numeric knobs in Set, so
+	// axes can sweep them.
+	Topology string `json:"topology,omitempty"`
+	LBPolicy string `json:"lb_policy,omitempty"`
 	// Set holds numeric knob overrides, applied in any order (each knob
 	// writes an independent configuration field).
 	Set map[string]float64 `json:"set,omitempty"`
@@ -90,16 +99,23 @@ type Point struct {
 // Run is one fully expanded simulation of a scenario.
 type Run struct {
 	// Param is the joined axis labels ("1024B/512 buf"); empty for
-	// sweepless scenarios.
+	// sweepless scenarios. Separators inside individual labels are
+	// escaped ("\/"), so SplitParam recovers the labels unambiguously.
 	Param string
 	// Variant is the injection policy applied to Config (zero for
 	// variantless scenarios).
 	Variant Variant
-	// Config is the complete, validated machine configuration.
+	// Config is the complete, validated machine configuration (the
+	// per-node template when Cluster is set).
 	Config machine.Config
 	// ClosedLoopDepth mirrors Config.ClosedLoopDepth for harnesses that
 	// normalize traffic knobs before running.
 	ClosedLoopDepth int
+	// Cluster is non-nil when the "nodes" knob raises this run to a
+	// rack: the complete, validated cluster configuration (its Node is
+	// Config). Harnesses run it through cluster.New instead of
+	// machine.New.
+	Cluster *cluster.Config
 }
 
 // NICMode parses the variant's mode string.
@@ -167,10 +183,43 @@ func (v Variant) Apply(cfg machine.Config) (machine.Config, error) {
 	return cfg, nil
 }
 
-// applyKnob writes one numeric knob into a configuration. Every knob targets
-// an independent field (partition_split reads only the immutable LLC way
-// count), so a knob set may be applied in any order.
-func applyKnob(cfg *machine.Config, knob string, v float64) error {
+// runConfig is the composite configuration a sweep walks: the machine (or
+// per-node template) plus the cluster-level knobs that live outside
+// machine.Config. nodes <= 1 leaves the run a standalone machine.
+type runConfig struct {
+	m      machine.Config
+	nodes  int
+	fabric fabric.Config
+}
+
+// applyKnob writes one numeric knob into a run configuration. Every knob
+// targets an independent field (partition_split reads only the immutable
+// LLC way count), so a knob set may be applied in any order.
+func applyKnob(cfg *runConfig, knob string, v float64) error {
+	switch knob {
+	case "nodes":
+		cfg.nodes = int(v)
+		return nil
+	case "fabric_link_gbps":
+		cfg.fabric.LinkGBps = v
+		return nil
+	case "fabric_link_lat_cycles":
+		cfg.fabric.LinkLatCycles = uint64(v)
+		return nil
+	case "fabric_switch_lat_cycles":
+		cfg.fabric.SwitchLatCycles = uint64(v)
+		return nil
+	case "fabric_queue_depth":
+		cfg.fabric.QueueDepth = int(v)
+		return nil
+	case "fabric_retry_cycles":
+		cfg.fabric.RetryCycles = uint64(v)
+		return nil
+	}
+	return applyMachineKnob(&cfg.m, knob, v)
+}
+
+func applyMachineKnob(cfg *machine.Config, knob string, v float64) error {
 	switch knob {
 	case "net_cores":
 		cfg.NetCores = int(v)
@@ -244,47 +293,88 @@ func applyKnob(cfg *machine.Config, knob string, v float64) error {
 	return nil
 }
 
-// baseConfig builds the spec's machine configuration before axes and
-// variants: Table I defaults overlaid with the spec's knobs.
-func (s Spec) baseConfig() (machine.Config, error) {
-	cfg := machine.DefaultConfig()
+// baseConfig builds the spec's run configuration before axes and variants:
+// Table I defaults (and the default fabric, so partial fabric_* overrides
+// compose) overlaid with the spec's knobs.
+func (s Spec) baseConfig() (runConfig, error) {
+	rc := runConfig{m: machine.DefaultConfig(), fabric: fabric.DefaultConfig()}
 	if s.Machine.Workload != "" {
-		cfg.Workload = s.Machine.Workload
+		rc.m.Workload = s.Machine.Workload
 	}
 	if s.Machine.XMemWorkload != "" {
-		cfg.XMemWorkload = s.Machine.XMemWorkload
+		rc.m.XMemWorkload = s.Machine.XMemWorkload
 	}
 	if s.Machine.SampleMode != "" {
-		cfg.Sampling.Mode = s.Machine.SampleMode
+		rc.m.Sampling.Mode = s.Machine.SampleMode
 	}
 	if s.Machine.WarmLLC != nil {
-		cfg.WarmLLC = *s.Machine.WarmLLC
+		rc.m.WarmLLC = *s.Machine.WarmLLC
 	}
 	for knob, v := range s.Machine.Set {
-		if err := applyKnob(&cfg, knob, v); err != nil {
-			return cfg, err
+		if err := applyKnob(&rc, knob, v); err != nil {
+			return rc, err
 		}
 	}
-	return cfg, nil
+	return rc, nil
+}
+
+// clusterConfig assembles and validates the cluster configuration for a
+// walked run configuration whose nodes knob exceeds 1.
+func (s Spec) clusterConfig(rc runConfig, node machine.Config) (*cluster.Config, error) {
+	cc := &cluster.Config{
+		Node:     node,
+		Nodes:    rc.nodes,
+		Topology: s.Machine.Topology,
+		LBPolicy: s.Machine.LBPolicy,
+		Fabric:   rc.fabric,
+	}
+	if err := cc.Validate(); err != nil {
+		return nil, err
+	}
+	return cc, nil
 }
 
 // Config expands a sweepless view of the scenario: the base machine with
 // optional extra knob overrides, no variant applied. Harnesses use it to
-// derive one-off configurations from a shipped scenario.
+// derive one-off machine configurations from a shipped scenario; scenarios
+// whose knobs raise a cluster go through ClusterConfig instead.
 func (s Spec) Config(overrides map[string]float64) (machine.Config, error) {
-	cfg, err := s.baseConfig()
+	rc, err := s.baseConfig()
 	if err != nil {
-		return cfg, err
+		return rc.m, err
 	}
 	for knob, v := range overrides {
-		if err := applyKnob(&cfg, knob, v); err != nil {
-			return cfg, err
+		if err := applyKnob(&rc, knob, v); err != nil {
+			return rc.m, err
 		}
 	}
-	if err := cfg.Validate(); err != nil {
-		return cfg, err
+	if rc.nodes > 1 {
+		return rc.m, fmt.Errorf("scenario %q: %d nodes is a cluster; expand through ClusterConfig", s.Name, rc.nodes)
 	}
-	return cfg, nil
+	if err := rc.m.Validate(); err != nil {
+		return rc.m, err
+	}
+	return rc.m, nil
+}
+
+// ClusterConfig expands a sweepless cluster view of the scenario: the base
+// machine as the node template plus the cluster knobs, with optional
+// overrides. Node counts of 0/1 yield a valid one-node cluster, so
+// harnesses can raise any scenario to a rack with a "nodes" override.
+func (s Spec) ClusterConfig(overrides map[string]float64) (*cluster.Config, error) {
+	rc, err := s.baseConfig()
+	if err != nil {
+		return nil, err
+	}
+	for knob, v := range overrides {
+		if err := applyKnob(&rc, knob, v); err != nil {
+			return nil, err
+		}
+	}
+	if rc.nodes < 1 {
+		rc.nodes = 1
+	}
+	return s.clusterConfig(rc, rc.m)
 }
 
 // Expand crosses the sweep axes (outermost-first) with the variants
@@ -302,30 +392,39 @@ func (s Spec) Expand() ([]Run, error) {
 	}
 
 	var runs []Run
-	var walk func(axis int, labels []string, cfg machine.Config) error
-	walk = func(axis int, labels []string, cfg machine.Config) error {
+	var walk func(axis int, labels []string, rc runConfig) error
+	walk = func(axis int, labels []string, rc runConfig) error {
 		if axis == len(s.Sweep) {
 			for _, v := range variants {
-				final, err := v.Apply(cfg)
+				final, err := v.Apply(rc.m)
 				if err != nil {
 					return err
 				}
 				if err := final.Validate(); err != nil {
 					return fmt.Errorf("scenario %q, param %q, variant %q: %w",
-						s.Name, strings.Join(labels, "/"), v.DisplayName(), err)
+						s.Name, joinLabels(labels), v.DisplayName(), err)
 				}
-				runs = append(runs, Run{
-					Param:           strings.Join(labels, "/"),
+				run := Run{
+					Param:           joinLabels(labels),
 					Variant:         v,
 					Config:          final,
 					ClosedLoopDepth: final.ClosedLoopDepth,
-				})
+				}
+				if rc.nodes > 1 {
+					cc, err := s.clusterConfig(rc, final)
+					if err != nil {
+						return fmt.Errorf("scenario %q, param %q, variant %q: %w",
+							s.Name, run.Param, v.DisplayName(), err)
+					}
+					run.Cluster = cc
+				}
+				runs = append(runs, run)
 			}
 			return nil
 		}
 		ax := s.Sweep[axis]
 		for _, pt := range ax.Points {
-			c := cfg
+			c := rc
 			for knob, v := range pt.Set {
 				if err := applyKnob(&c, knob, v); err != nil {
 					return fmt.Errorf("scenario %q, axis %d point %q: %w", s.Name, axis, pt.Label, err)
@@ -341,6 +440,53 @@ func (s Spec) Expand() ([]Run, error) {
 		return nil, err
 	}
 	return runs, nil
+}
+
+// escapeLabel escapes the label-join separator (and the escape character
+// itself) inside one axis label, so a Param like "512B\/512 buf/3ch"
+// splits unambiguously back into its labels even when a label contains
+// "/". Before this, fig8's "512B/512 buf" joined with "3ch" was
+// indistinguishable from a three-axis sweep.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "/", `\/`)
+}
+
+// joinLabels builds a Run.Param from axis labels, escaping each label.
+func joinLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	esc := make([]string, len(labels))
+	for i, l := range labels {
+		esc[i] = escapeLabel(l)
+	}
+	return strings.Join(esc, "/")
+}
+
+// SplitParam splits a Run.Param back into its original axis labels,
+// undoing joinLabels' escaping.
+func SplitParam(p string) []string {
+	if p == "" {
+		return nil
+	}
+	var out []string
+	var b strings.Builder
+	for i := 0; i < len(p); i++ {
+		switch c := p[i]; c {
+		case '\\':
+			if i+1 < len(p) {
+				i++
+				b.WriteByte(p[i])
+			}
+		case '/':
+			out = append(out, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return append(out, b.String())
 }
 
 // Validate checks the spec structurally and expands it, so every swept

@@ -134,11 +134,16 @@ func TestExpandOrdering(t *testing.T) {
 	if len(runs) != 3*3*7 {
 		t.Fatalf("fig8: %d runs, want 63", len(runs))
 	}
-	if got, want := runs[0].Param, "512B/512 buf/3ch"; got != want {
+	// fig8's footprint labels contain "/" themselves; joined params escape
+	// it so the two axes split back unambiguously.
+	if got, want := runs[0].Param, `512B\/512 buf/3ch`; got != want {
 		t.Errorf("fig8 first param %q, want %q", got, want)
 	}
+	if got, want := SplitParam(runs[0].Param), []string{"512B/512 buf", "3ch"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("fig8 first param splits to %q, want %q", got, want)
+	}
 	last := runs[len(runs)-1]
-	if got, want := last.Param, "1024B/2048 buf/8ch"; got != want {
+	if got, want := last.Param, `1024B\/2048 buf/8ch`; got != want {
 		t.Errorf("fig8 last param %q, want %q", got, want)
 	}
 	if got, want := last.Variant.DisplayName(), "Ideal DDIO"; got != want {
@@ -239,5 +244,121 @@ func TestSamplingKnobs(t *testing.T) {
 	}
 	if !cfg.Sampling.Enabled() {
 		t.Error("sample_mode ci did not enable sampling")
+	}
+}
+
+// TestParamEscaping locks the label-joining fix: axis labels containing the
+// separator are escaped in Param and recovered exactly by SplitParam, so a
+// two-axis sweep can never masquerade as a three-axis one.
+func TestParamEscaping(t *testing.T) {
+	cases := []struct {
+		labels []string
+		param  string
+	}{
+		{[]string{"512B/512 buf", "3ch"}, `512B\/512 buf/3ch`},
+		{[]string{"a", "b", "c"}, "a/b/c"},
+		{[]string{`back\slash`, "x/y"}, `back\\slash/x\/y`},
+		{[]string{"plain"}, "plain"},
+		{nil, ""},
+	}
+	for _, c := range cases {
+		if got := joinLabels(c.labels); got != c.param {
+			t.Errorf("joinLabels(%q) = %q, want %q", c.labels, got, c.param)
+		}
+		if got := SplitParam(c.param); !reflect.DeepEqual(got, c.labels) {
+			t.Errorf("SplitParam(%q) = %q, want %q", c.param, got, c.labels)
+		}
+	}
+	// The ambiguous pair that motivated the escape: distinct label sets
+	// must produce distinct params.
+	a := joinLabels([]string{"512B/512 buf", "3ch"})
+	b := joinLabels([]string{"512B", "512 buf", "3ch"})
+	if a == b {
+		t.Fatalf("ambiguous params: %q", a)
+	}
+}
+
+// TestClusterExpansion checks the cluster knobs: the builtin cluster
+// scenario expands to rack runs with validated cluster configs, and the
+// nodes knob sweeps like any other.
+func TestClusterExpansion(t *testing.T) {
+	runs, err := MustSpec("cluster_kvs").Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("cluster_kvs: %d runs, want 2", len(runs))
+	}
+	for _, r := range runs {
+		if r.Cluster == nil {
+			t.Fatalf("run %q has no cluster config", r.Param)
+		}
+		if r.Cluster.Nodes != 4 || r.Cluster.LBPolicy != "flow-hash" {
+			t.Fatalf("run %q cluster = %d nodes, policy %q", r.Param, r.Cluster.Nodes, r.Cluster.LBPolicy)
+		}
+		if r.Cluster.Node != r.Config {
+			t.Fatalf("run %q cluster node template differs from Config", r.Param)
+		}
+		if err := r.Cluster.Validate(); err != nil {
+			t.Fatalf("run %q cluster config invalid: %v", r.Param, err)
+		}
+	}
+	if runs[0].Config.OfferedMrps != 4 || runs[1].Config.OfferedMrps != 8 {
+		t.Fatalf("offered sweep not applied: %g, %g", runs[0].Config.OfferedMrps, runs[1].Config.OfferedMrps)
+	}
+
+	// Sweeping nodes across points, including the degenerate single node.
+	spec := Spec{
+		Name:    "nodes-sweep",
+		Machine: Knobs{Set: map[string]float64{"fabric_queue_depth": 16}},
+		Sweep: []Axis{{Points: []Point{
+			{Label: "1 node", Set: map[string]float64{"nodes": 1}},
+			{Label: "2 nodes", Set: map[string]float64{"nodes": 2}},
+		}}},
+	}
+	runs, err = spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0].Cluster != nil {
+		t.Error("1-node point should stay a standalone machine run")
+	}
+	if runs[1].Cluster == nil || runs[1].Cluster.Nodes != 2 {
+		t.Fatal("2-node point did not become a cluster run")
+	}
+	if got := runs[1].Cluster.Fabric.QueueDepth; got != 16 {
+		t.Errorf("fabric_queue_depth knob not threaded: %d", got)
+	}
+}
+
+// TestClusterKnobValidation checks bad cluster knobs fail expansion.
+func TestClusterKnobValidation(t *testing.T) {
+	bad := map[string]Spec{
+		"unknown policy": {Name: "x", Machine: Knobs{LBPolicy: "nope", Set: map[string]float64{"nodes": 2}}},
+		"bad topology":   {Name: "x", Machine: Knobs{Topology: "torus", Set: map[string]float64{"nodes": 2}}},
+		"bad fabric":     {Name: "x", Machine: Knobs{Set: map[string]float64{"nodes": 2, "fabric_link_gbps": -1}}},
+	}
+	for name, s := range bad {
+		if _, err := s.Expand(); err == nil {
+			t.Errorf("%s: expanded", name)
+		}
+	}
+	if _, err := (Spec{Name: "x", Machine: Knobs{Set: map[string]float64{"nodes": 2}}}).Expand(); err != nil {
+		t.Errorf("plain 2-node spec rejected: %v", err)
+	}
+}
+
+// TestClusterConfigHelper checks the sweepless ClusterConfig view used by
+// the CLI's -nodes flag.
+func TestClusterConfigHelper(t *testing.T) {
+	cc, err := MustSpec("kvs").ClusterConfig(map[string]float64{"nodes": 3, "offered_mrps": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Nodes != 3 || cc.Node.OfferedMrps != 6 {
+		t.Fatalf("ClusterConfig = %d nodes, %g Mrps", cc.Nodes, cc.Node.OfferedMrps)
+	}
+	if _, err := MustSpec("kvs").Config(map[string]float64{"nodes": 3}); err == nil {
+		t.Fatal("Config accepted a multi-node override")
 	}
 }

@@ -1,0 +1,24 @@
+package sim
+
+// SharedShard is the shard hosting every shared-domain component: traffic
+// generators, the dynamic-DDIO controller, the observability sampler and —
+// at cluster scale — the load-balancer front end and fabric bookkeeping. On
+// the sequential engine it is the only shard.
+const SharedShard = 0
+
+// CoreShard places a simulated core on an engine shard. Shard 0 is reserved
+// for the shared domain, so core g (a machine-global index in a standalone
+// run, a cluster-global index when several nodes share one engine) lands on
+// 1 + g mod (shards-1). With numShards <= 1 everything runs on the
+// sequential engine's shard 0.
+//
+// Placement only decides which timing wheel holds a core's events — dispatch
+// order is canonical (cycle, seq) regardless — so any placement is
+// bit-identical; this one balances cores evenly and keeps a node's cores
+// spread across shards at every cluster size.
+func CoreShard(numShards, globalCore int) int {
+	if numShards <= 1 {
+		return SharedShard
+	}
+	return 1 + globalCore%(numShards-1)
+}
