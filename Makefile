@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e bench-parallel bench-sampling bench-cluster race-parallel check results obs-smoke sampling-smoke cluster-smoke test-debug
+.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e bench-parallel bench-sampling bench-cluster race-parallel check results obs-smoke sampling-smoke cluster-smoke traffic-smoke golden-fig8 test-debug
 
 all: check
 
@@ -74,7 +74,7 @@ race-parallel:
 
 bench: bench-engine bench-mem bench-e2e bench-parallel bench-sampling bench-cluster
 
-check: build vet lint test race bench-engine sampling-smoke cluster-smoke
+check: build vet lint test race bench-engine sampling-smoke cluster-smoke traffic-smoke
 
 # Observability smoke: drive the CLI with every exporter enabled against the
 # kvs scenario, then validate the artifacts (CSV/JSON structure) in-process.
@@ -103,6 +103,28 @@ cluster-smoke:
 		-manifest artifacts/cluster_manifest.json
 	SWEEPER_CLUSTER_MANIFEST=$(CURDIR)/artifacts/cluster_manifest.run01.json \
 		$(GO) test ./internal/cluster -run TestClusterManifestSmoke -count=1 -v
+
+# Traffic-realism smoke: synthesize a bursty trace with tracegen, replay it
+# through the CLI with -arrival trace and validate the manifest in-process,
+# then drive the shipped bursty-MMPP scenario end-to-end.
+traffic-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/tracegen -packets 30000 -burst-ratio 4 -flows 256 \
+		-out artifacts/ci_trace.bin
+	$(GO) run ./cmd/sweepersim -arrival trace -arrival-trace artifacts/ci_trace.bin \
+		-warmup 300000 -measure 200000 \
+		-manifest artifacts/traffic_manifest.json
+	SWEEPER_TRAFFIC_MANIFEST=$(CURDIR)/artifacts/traffic_manifest.json \
+		$(GO) test ./internal/machine -run TestTrafficManifestSmoke -count=1 -v
+	$(GO) run ./cmd/sweepersim -scenario examples/scenarios/mmpp.json \
+		-warmup 300000 -measure 200000
+
+# Figure 8 golden gate: byte-compares regenerated fig8a/fig8b CSVs against
+# results/. 63 peak searches (~14 min single-core), so it is opt-in via the
+# env guard rather than part of the default `go test ./...` budget.
+golden-fig8:
+	SWEEPER_GOLDEN_FIG8=1 $(GO) test ./internal/experiments \
+		-run TestGoldenFig8CSVs -count=1 -timeout 40m -v
 
 # Debug build with the invariant probes compiled in (ring slot conservation,
 # DRAM timing monotonicity, cache inclusion, DDIO way-mask bounds).

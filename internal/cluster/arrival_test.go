@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sweeper/internal/machine"
+	"sweeper/internal/nic"
+)
+
+// TestOneNodeClusterMatchesStandalonePerArrival extends the one-node
+// anchor to every registered arrival process: the front end drives the
+// same registered generator the standalone machine uses, with a rng-free
+// inject path, so a one-node rack must stay draw-for-draw identical no
+// matter the process. The registry walk fails when a new process ships
+// without a case here.
+func TestOneNodeClusterMatchesStandalonePerArrival(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "cluster.bin")
+	recs := make([]nic.TraceRecord, 3000)
+	for i := range recs {
+		recs[i] = nic.TraceRecord{Cycles: uint64(i * 140), Bytes: 512, Flow: uint32(i % 17)}
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nic.WriteTraceBinary(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	arrivals := map[string]nic.ArrivalConfig{
+		nic.ArrivalPoisson: {
+			DiurnalPeriodCycles: 150_000,
+			DiurnalAmplitude:    0.3,
+			Flows:               48,
+		},
+		nic.ArrivalMMPP: {
+			Process:          nic.ArrivalMMPP,
+			BurstRatio:       5,
+			BurstDwellCycles: 60_000,
+		},
+		nic.ArrivalTrace: {
+			Process:   nic.ArrivalTrace,
+			TracePath: tracePath,
+		},
+	}
+	for _, name := range nic.ArrivalNames() {
+		acfg, ok := arrivals[name]
+		if !ok {
+			t.Errorf("registered arrival process %q has no one-node equality case; add one here", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			node := quickNode()
+			node.Arrival = acfg
+			want := machine.MustNew(node).Run(400_000, 300_000)
+			if want.Offered == 0 {
+				t.Fatal("standalone machine saw no arrivals")
+			}
+
+			cl := MustNew(Config{Node: node, Nodes: 1})
+			r := cl.Run(400_000, 300_000)
+			if !reflect.DeepEqual(r.Nodes[0], want) {
+				t.Fatalf("one-node cluster diverged from standalone machine:\n  cluster:    %+v\n  standalone: %+v",
+					r.Nodes[0], want)
+			}
+		})
+	}
+}
+
+// TestClusterMMPPSpreadsNodes sanity-checks a bursty multi-node rack: the
+// front end's single modulated generator sprays all nodes and every node
+// sees traffic.
+func TestClusterMMPPSpreadsNodes(t *testing.T) {
+	cfg := quickCluster(4)
+	cfg.Node.Arrival = nic.ArrivalConfig{Process: nic.ArrivalMMPP, BurstRatio: 6}
+	cl := MustNew(cfg)
+	r := cl.Run(300_000, 200_000)
+	if r.Offered == 0 {
+		t.Fatal("no offered load")
+	}
+	for i, nr := range r.Nodes {
+		if nr.Offered == 0 {
+			t.Errorf("node %d saw no arrivals", i)
+		}
+	}
+}

@@ -67,7 +67,11 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	openLoop := cfg.Node.ClosedLoopDepth <= 0
 	if openLoop {
-		cl.fe = newFrontend(eng, &cfg, pol)
+		fe, err := newFrontend(eng, &cfg, pol)
+		if err != nil {
+			return nil, err
+		}
+		cl.fe = fe
 	}
 
 	cl.nodes = make([]*machine.Machine, cfg.Nodes)

@@ -2,48 +2,62 @@ package cluster
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sweeper/internal/machine"
+	"sweeper/internal/nic"
 	"sweeper/internal/obs"
 	"sweeper/internal/sim"
 	"sweeper/internal/stats"
 	"sweeper/internal/workload"
 )
 
-// frontend is the cluster's load balancer: one open-loop Poisson arrival
-// process for the whole rack, with a pluggable Policy choosing the
-// destination node per request. It mirrors nic.PoissonGen draw for draw —
-// same rng seed, same ExpFloat64/Intn/Uint64 order per arrival — so a
-// one-node cluster injects the exact packet sequence the standalone
-// machine's own generator would, and Results stay bit-identical. Policies
-// are rng-free by contract, so the mirroring survives any node choice.
+// frontend is the cluster's load balancer: one open-loop arrival process
+// for the whole rack, with a pluggable Policy choosing the destination node
+// per request. The process itself is the node template's registered
+// generator (Poisson, MMPP, trace replay, ...) built at the rack-wide rate
+// with the template's seed, so it mirrors a standalone machine's generator
+// draw for draw — the only difference is the inject hook, which picks a
+// node before the packet lands. Policies are rng-free by contract, so the
+// mirroring survives any node choice, and a one-node cluster injects the
+// exact packet sequence the standalone machine's own generator would for
+// every registered process.
 type frontend struct {
-	eng     *sim.Engine
-	nodes   []*machine.Machine
-	pol     Policy
-	rng     *rand.Rand
-	meanGap float64 // cycles between arrivals across the whole rack
-	size    uint64
-	sizer   func(tag uint64) uint64
-	cores   int // arrivals target rings [0, cores) on the chosen node
-	stopped bool
+	nodes []*machine.Machine
+	pol   Policy
+	gen   nic.ArrivalGen
 
 	// offered counts injection attempts per node; each node's machine
 	// reads its own slot in place of a suppressed local generator.
 	offered []uint64
 }
 
-func newFrontend(eng *sim.Engine, cfg *Config, pol Policy) *frontend {
-	return &frontend{
-		eng:     eng,
+func newFrontend(eng *sim.Engine, cfg *Config, pol Policy) (*frontend, error) {
+	fe := &frontend{
 		pol:     pol,
-		rng:     rand.New(rand.NewSource(cfg.Node.Seed)),
-		meanGap: stats.CyclesPerSecond(cfg.Node.OfferedMrps*1e6*float64(cfg.Nodes), cfg.Node.FreqHz),
-		size:    cfg.Node.PacketBytes,
-		cores:   cfg.Node.NetCores,
 		offered: make([]uint64, cfg.Nodes),
 	}
+	spec := nic.ArrivalSpec{
+		Cores:   cfg.Node.NetCores,
+		Size:    cfg.Node.PacketBytes,
+		MeanGap: stats.CyclesPerSecond(cfg.Node.OfferedMrps*1e6*float64(cfg.Nodes), cfg.Node.FreqHz),
+		Seed:    cfg.Node.Seed,
+		Config:  cfg.Node.Arrival,
+	}
+	gen, err := nic.NewArrival(eng, spec, fe.inject)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: front end: %w", err)
+	}
+	fe.gen = gen
+	return fe, nil
+}
+
+// inject is the front end's InjectFunc: route the generated arrival to a
+// node by policy, then land it in that node's NIC. It draws nothing from
+// the generator's rng, preserving the standalone draw order.
+func (fe *frontend) inject(now uint64, core int, size uint64, tag uint64) {
+	node := fe.pol.Pick(tag, len(fe.nodes), fe.load)
+	fe.offered[node]++
+	fe.nodes[node].NIC().Inject(now, core, size, tag)
 }
 
 // wire attaches the built nodes and lifts the workload's request sizer
@@ -52,41 +66,17 @@ func newFrontend(eng *sim.Engine, cfg *Config, pol Policy) *frontend {
 func (fe *frontend) wire(nodes []*machine.Machine) {
 	fe.nodes = nodes
 	if s, ok := nodes[0].Workload().(workload.RequestSizer); ok {
-		fe.sizer = s.RequestBytes
+		fe.gen.SetSizer(s.RequestBytes)
 	}
 }
 
 // Start schedules the first arrival. The cluster runs it in node 0's
 // generator slot (machine.StartNode startGen), so the event's sequence
 // number matches a standalone machine's generator start.
-func (fe *frontend) Start() { fe.scheduleNext() }
+func (fe *frontend) Start() { fe.gen.Start() }
 
 // Stop halts generation after any already-scheduled arrival.
-func (fe *frontend) Stop() { fe.stopped = true }
-
-// OnEvent implements sim.Sink.
-func (fe *frontend) OnEvent(now sim.Cycle, _ uint64) { fe.arrive(now) }
-
-func (fe *frontend) scheduleNext() {
-	gap := fe.rng.ExpFloat64() * fe.meanGap
-	fe.eng.ScheduleAfter(uint64(gap), fe, 0)
-}
-
-func (fe *frontend) arrive(now uint64) {
-	if fe.stopped {
-		return
-	}
-	core := fe.rng.Intn(fe.cores)
-	tag := fe.rng.Uint64()
-	node := fe.pol.Pick(tag, len(fe.nodes), fe.load)
-	fe.offered[node]++
-	size := fe.size
-	if fe.sizer != nil {
-		size = fe.sizer(tag)
-	}
-	fe.nodes[node].NIC().Inject(now, core, size, tag)
-	fe.scheduleNext()
-}
+func (fe *frontend) Stop() { fe.gen.Stop() }
 
 func (fe *frontend) load(node int) int {
 	return fe.nodes[node].NIC().TotalQueued()

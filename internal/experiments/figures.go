@@ -367,6 +367,7 @@ func Registry() map[string]func(Scale) []Table {
 		"policies":     Policies,
 		"alternatives": Alternatives,
 		"cluster":      ClusterScaling,
+		"slo":          SLOCurve,
 	}
 }
 

@@ -71,3 +71,48 @@ func TestGoldenCSVs(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenFig8CSVs extends the golden gate to Figure 8's two panels.
+// Fig8 is 63 peak searches at QuickScale (~14 min on one core) — far past
+// the default `go test` package timeout on small machines — so it runs
+// sequentially only (the sharded dispatch-order coverage above transfers;
+// the engine is shared) and is opt-in via SWEEPER_GOLDEN_FIG8, driven by
+// `make golden-fig8` and CI with an explicit -timeout.
+func TestGoldenFig8CSVs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 regeneration is 63 peak searches; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("outputs are scheduling-independent; skipped under -race")
+	}
+	if os.Getenv("SWEEPER_GOLDEN_FIG8") == "" {
+		t.Skip("~14 min single-core; set SWEEPER_GOLDEN_FIG8=1 (or run `make golden-fig8`)")
+	}
+
+	dir := t.TempDir()
+	for _, tb := range Fig8(QuickScale()) {
+		f, err := os.Create(filepath.Join(dir, tb.ID+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.WriteCSV(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"fig8a.csv", "fig8b.csv"} {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join("..", "..", "results", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("regenerated %s differs from results/%s", name, name)
+		}
+	}
+}

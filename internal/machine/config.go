@@ -70,11 +70,14 @@ type Config struct {
 	Sweeper core.Config
 	SweepTX bool
 
-	// Traffic: OfferedMrps drives the open-loop Poisson generator;
-	// a positive ClosedLoopDepth switches to the §IV-B keep-D-queued
-	// closed loop instead.
+	// Traffic: OfferedMrps drives the open-loop arrival process; a
+	// positive ClosedLoopDepth switches to the §IV-B keep-D-queued
+	// closed loop instead. Arrival selects and tunes the open-loop
+	// process (Poisson by default; MMPP, trace replay, diurnal envelope
+	// and flow-population knobs per nic.ArrivalConfig).
 	OfferedMrps     float64
 	ClosedLoopDepth int
+	Arrival         nic.ArrivalConfig
 
 	// NeBuLaDropDepth, when positive, enables the related-work baseline
 	// of proactive packet dropping (§II-C): the NIC drops arrivals once
@@ -300,6 +303,12 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Sampling.validate(); err != nil {
 		return err
+	}
+	if err := c.Arrival.Validate(); err != nil {
+		return err
+	}
+	if c.ClosedLoopDepth > 0 && c.Arrival != (nic.ArrivalConfig{}) {
+		return fmt.Errorf("machine: Arrival tunes the open loop; unset it with ClosedLoopDepth > 0")
 	}
 	if err := workload.ValidateParams(c.Workload, c.params()); err != nil {
 		return fmt.Errorf("machine: workload %q: %w", c.Workload, err)

@@ -39,8 +39,14 @@ type Machine struct {
 	cores []*cpu.Core
 	xmem  []*cpu.XMemCore
 
-	pgen *nic.PoissonGen
-	cgen *nic.ClosedLoopGen
+	// agen is the open-loop arrival process, built through the nic
+	// arrival registry (Poisson by default; MMPP, trace replay, ... by
+	// Config.Arrival); agenProc records its registry name so Reset can
+	// reuse the generator when the process is unchanged. cgen is the
+	// closed-loop alternative.
+	agen     nic.ArrivalGen
+	agenProc string
+	cgen     *nic.ClosedLoopGen
 
 	// Cluster wiring (all zero on standalone machines): ownsEngine marks
 	// the engine as this machine's (New) rather than borrowed from a
@@ -307,7 +313,7 @@ func (m *Machine) configure(cfg Config) error {
 	}
 
 	if cfg.ClosedLoopDepth > 0 {
-		m.pgen = nil
+		m.agen, m.agenProc = nil, ""
 		if m.cgen != nil {
 			m.cgen.Reset(cfg.ClosedLoopDepth, cfg.Seed)
 		} else {
@@ -320,21 +326,44 @@ func (m *Machine) configure(cfg Config) error {
 	} else if m.extTraffic {
 		// The cluster front end injects this node's arrivals; no local
 		// generator at all.
-		m.cgen, m.pgen = nil, nil
+		m.cgen, m.agen, m.agenProc = nil, nil, ""
 	} else {
 		m.cgen = nil
-		gap := stats.CyclesPerSecond(cfg.OfferedMrps*1e6, cfg.FreqHz)
-		if m.pgen != nil {
-			m.pgen.Reset(gap, cfg.Seed)
+		spec := m.arrivalSpec(cfg)
+		proc := cfg.Arrival.Process
+		if m.agen != nil && m.agenProc == proc {
+			if err := m.agen.Reset(spec); err != nil {
+				return err
+			}
 		} else {
-			m.pgen = nic.NewPoissonGen(m.eng, m.nicD, cfg.PacketBytes, gap, cfg.Seed)
+			gen, err := nic.NewArrival(m.eng, spec, m.injectArrival)
+			if err != nil {
+				return err
+			}
+			m.agen, m.agenProc = gen, proc
 		}
-		m.pgen.SetTargetCores(cfg.NetCores)
 		if s, ok := m.drv.(workload.RequestSizer); ok {
-			m.pgen.SetSizer(s.RequestBytes)
+			m.agen.SetSizer(s.RequestBytes)
 		}
 	}
 	return nil
+}
+
+// arrivalSpec derives the arrival-process parameterization from a machine
+// configuration.
+func (m *Machine) arrivalSpec(cfg Config) nic.ArrivalSpec {
+	return nic.ArrivalSpec{
+		Cores:   cfg.NetCores,
+		Size:    cfg.PacketBytes,
+		MeanGap: stats.CyclesPerSecond(cfg.OfferedMrps*1e6, cfg.FreqHz),
+		Seed:    cfg.Seed,
+		Config:  cfg.Arrival,
+	}
+}
+
+// injectArrival is the machine's InjectFunc: arrivals land in its own NIC.
+func (m *Machine) injectArrival(now uint64, core int, size uint64, tag uint64) {
+	m.nicD.Inject(now, core, size, tag)
 }
 
 // warmChurnPressure pre-ages the warm-installed shared cache for collocated

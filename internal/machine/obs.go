@@ -27,8 +27,8 @@ func (m *Machine) Metrics() *obs.Registry {
 func (m *Machine) RegisterMetrics(r *obs.Registry) {
 	m.dp.registerMetrics(r)
 	m.nicD.RegisterMetrics(r)
-	if m.pgen != nil {
-		m.pgen.RegisterMetrics(r)
+	if m.agen != nil {
+		m.agen.RegisterMetrics(r)
 	}
 	if m.cgen != nil {
 		m.cgen.RegisterMetrics(r)

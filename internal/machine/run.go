@@ -34,10 +34,12 @@ type Results struct {
 	DRAMLatP50  uint64
 	DRAMLatP99  uint64
 	DRAMLatCDF  []stats.CDFPoint
-	// ReqLatMean/P99 summarize end-to-end request latency (arrival to
-	// response posted), which the SLO check uses.
+	// ReqLatMean/P99/P999 summarize end-to-end request latency (arrival
+	// to response posted): the SLO check gates on p99, the SLO-headroom
+	// curves plot the p99.9 tail.
 	ReqLatMean float64
 	ReqLatP99  uint64
+	ReqLatP999 uint64
 	// AMATCycles is the mean CPU-side hierarchy access latency over the
 	// window — the average memory access time the paper's throughput model
 	// centres on.
@@ -121,8 +123,8 @@ func (m *Machine) startWith(startGen func()) {
 	switch {
 	case m.cgen != nil:
 		m.cgen.Start(m.eng.Now())
-	case m.pgen != nil:
-		m.pgen.Start()
+	case m.agen != nil:
+		m.agen.Start()
 	}
 	if startGen != nil {
 		startGen()
@@ -148,8 +150,8 @@ func (m *Machine) snap() windowSnap {
 		llcMisses: m.dp.hier.LLC().Misses(),
 		start:     m.eng.Now(),
 	}
-	if m.pgen != nil {
-		s.offered = m.pgen.Offered()
+	if m.agen != nil {
+		s.offered = m.agen.Offered()
 	} else if m.extOffered != nil {
 		s.offered = m.extOffered()
 	}
@@ -263,6 +265,7 @@ func (m *Machine) collect(snap windowSnap, measure uint64) Results {
 
 	r.ReqLatMean = m.reqLat.Mean()
 	r.ReqLatP99 = m.reqLat.Percentile(0.99)
+	r.ReqLatP999 = m.reqLat.Percentile(0.999)
 	if m.amatCount > 0 {
 		r.AMATCycles = float64(m.amatSum) / float64(m.amatCount)
 	}
@@ -270,8 +273,8 @@ func (m *Machine) collect(snap windowSnap, measure uint64) Results {
 		r.AvgServiceCycles = float64(m.svcSum) / float64(m.svcCount)
 	}
 
-	if m.pgen != nil {
-		r.Offered = m.pgen.Offered() - snap.offered
+	if m.agen != nil {
+		r.Offered = m.agen.Offered() - snap.offered
 	} else if m.extOffered != nil {
 		r.Offered = m.extOffered() - snap.offered
 	}

@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sweeper/internal/nic"
+	"sweeper/internal/obs"
+)
+
+// TestTrafficManifestSmoke validates a trace-replay run's manifest. When
+// SWEEPER_TRAFFIC_MANIFEST is set (the `make traffic-smoke` path: tracegen
+// synthesizes a trace, sweepersim replays it with -arrival trace and writes
+// the manifest), it checks that file; otherwise it generates its own from a
+// short in-process replay, so the contract is also guarded under plain
+// `go test`.
+func TestTrafficManifestSmoke(t *testing.T) {
+	var data []byte
+	if path := os.Getenv("SWEEPER_TRAFFIC_MANIFEST"); path != "" {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = b
+	} else {
+		tracePath := filepath.Join(t.TempDir(), "smoke.bin")
+		recs := make([]nic.TraceRecord, 2000)
+		for i := range recs {
+			recs[i] = nic.TraceRecord{Cycles: uint64(i * 120), Bytes: 800, Flow: uint32(i % 9)}
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nic.WriteTraceBinary(f, recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		cfg := quickCfg()
+		cfg.Arrival = nic.ArrivalConfig{Process: nic.ArrivalTrace, TracePath: tracePath}
+		m := MustNew(cfg)
+		r := m.Run(200_000, 150_000)
+		var buf bytes.Buffer
+		if err := obs.WriteManifest(&buf, m.BuildManifest("traffic smoke", r)); err != nil {
+			t.Fatal(err)
+		}
+		data = buf.Bytes()
+	}
+
+	var man struct {
+		Config struct {
+			Arrival struct {
+				Process   string `json:"Process"`
+				TracePath string `json:"TracePath"`
+			} `json:"Arrival"`
+		} `json:"config"`
+		Results struct {
+			Offered        uint64  `json:"Offered"`
+			Served         uint64  `json:"Served"`
+			ThroughputMrps float64 `json:"ThroughputMrps"`
+		} `json:"results"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatalf("traffic manifest does not parse: %v", err)
+	}
+	if man.Config.Arrival.Process != nic.ArrivalTrace {
+		t.Fatalf("manifest arrival process %q, want %q", man.Config.Arrival.Process, nic.ArrivalTrace)
+	}
+	if man.Config.Arrival.TracePath == "" {
+		t.Error("manifest lost the trace path")
+	}
+	if man.Results.Offered == 0 || man.Results.Served == 0 {
+		t.Fatalf("replay moved no traffic: offered %d, served %d", man.Results.Offered, man.Results.Served)
+	}
+	if man.Results.ThroughputMrps <= 0 {
+		t.Error("manifest reports no throughput")
+	}
+	for _, key := range []string{"gen.offered", "gen.trace_wraps", "cpu.served", "mem.reads"} {
+		if _, ok := man.Metrics[key]; !ok {
+			t.Errorf("manifest missing metric %q", key)
+		}
+	}
+	if man.Metrics["gen.offered"] == 0 {
+		t.Error("generator counter never advanced")
+	}
+}

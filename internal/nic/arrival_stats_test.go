@@ -1,0 +1,371 @@
+package nic
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sweeper/internal/sim"
+)
+
+// This file locks the statistical properties of every registered arrival
+// process: mean rates within confidence bounds, per-state MMPP behaviour,
+// burstiness, the diurnal envelope's shape, and flow spreading. The
+// umbrella test walks the registry, so a newly registered process fails
+// until a property test is added for it.
+
+type arrivalRec struct {
+	now  uint64
+	core int
+	size uint64
+	tag  uint64
+}
+
+// collectArrivals runs spec's generator standalone until horizon and
+// returns every injected arrival.
+func collectArrivals(t *testing.T, spec ArrivalSpec, horizon uint64) []arrivalRec {
+	t.Helper()
+	eng := sim.NewEngine()
+	var recs []arrivalRec
+	gen, err := NewArrival(eng, spec, func(now uint64, core int, size uint64, tag uint64) {
+		recs = append(recs, arrivalRec{now, core, size, tag})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start()
+	eng.RunUntil(horizon)
+	if got := gen.Offered(); got != uint64(len(recs)) {
+		t.Fatalf("Offered() = %d, injected %d", got, len(recs))
+	}
+	return recs
+}
+
+// checkMeanRate asserts the arrival count over the horizon is within a
+// ±4σ Poisson band around horizon/meanGap, widened by slack for
+// over-dispersed processes (slack 1 = plain Poisson).
+func checkMeanRate(t *testing.T, recs []arrivalRec, horizon uint64, meanGap, slack float64) {
+	t.Helper()
+	want := float64(horizon) / meanGap
+	band := 4 * slack * math.Sqrt(want)
+	if got := float64(len(recs)); math.Abs(got-want) > band {
+		t.Errorf("arrivals = %.0f, want %.0f ± %.0f", got, want, band)
+	}
+}
+
+// burstIndex is the windowed index of dispersion (variance/mean of
+// per-window arrival counts): ~1 for Poisson, > 1 for bursty processes.
+func burstIndex(recs []arrivalRec, horizon, window uint64) float64 {
+	n := int(horizon / window)
+	counts := make([]float64, n)
+	for _, r := range recs {
+		if w := int(r.now / window); w < n {
+			counts[w]++
+		}
+	}
+	var mean float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(n)
+	var varc float64
+	for _, c := range counts {
+		varc += (c - mean) * (c - mean)
+	}
+	varc /= float64(n)
+	if mean == 0 {
+		return 0
+	}
+	return varc / mean
+}
+
+// TestArrivalRegistryStatistics walks the registry: every registered
+// process must have a property test here, so a new generator cannot ship
+// without one.
+func TestArrivalRegistryStatistics(t *testing.T) {
+	cases := map[string]func(t *testing.T){
+		ArrivalPoisson: testPoissonStats,
+		ArrivalMMPP:    testMMPPStats,
+		ArrivalTrace:   testTraceStats,
+	}
+	for _, name := range ArrivalNames() {
+		fn, ok := cases[name]
+		if !ok {
+			t.Errorf("registered arrival process %q has no statistical property test; add one to the cases map", name)
+			continue
+		}
+		t.Run(name, fn)
+	}
+}
+
+func testPoissonStats(t *testing.T) {
+	const (
+		meanGap = 100.0
+		horizon = 2_000_000
+	)
+	recs := collectArrivals(t, ArrivalSpec{Cores: 4, Size: 64, MeanGap: meanGap, Seed: 11}, horizon)
+	checkMeanRate(t, recs, horizon, meanGap, 1)
+	// A Poisson stream is not bursty at any window scale.
+	if bi := burstIndex(recs, horizon, 10_000); bi > 1.5 {
+		t.Errorf("poisson burst index = %.2f, want ~1", bi)
+	}
+}
+
+func testMMPPStats(t *testing.T) {
+	const (
+		meanGap = 100.0
+		ratio   = 8.0
+		dwell   = 50_000
+		horizon = 5_000_000
+	)
+	spec := ArrivalSpec{
+		Cores: 4, Size: 64, MeanGap: meanGap, Seed: 12,
+		Config: ArrivalConfig{Process: ArrivalMMPP, BurstRatio: ratio, BurstDwellCycles: dwell},
+	}
+	eng := sim.NewEngine()
+	var recs []arrivalRec
+	gaps := &mmppGaps{}
+	g, err := newOpenLoop(eng, spec, func(now uint64, core int, size uint64, tag uint64) {
+		recs = append(recs, arrivalRec{now, core, size, tag})
+	}, gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	eng.RunUntil(horizon)
+
+	// Blended mean rate: over-dispersed, so widen the Poisson band. The
+	// asymptotic inflation of the count variance for a balanced 2-state
+	// MMPP is 1 + 2λ̄d(R-1)²/(R+1)² ≈ 31 here; 4σ·√31 ≈ 22σ.
+	slack := math.Sqrt(1 + 2*(float64(dwell)/meanGap)*(ratio-1)*(ratio-1)/((ratio+1)*(ratio+1)))
+	checkMeanRate(t, recs, horizon, meanGap, slack)
+
+	// Per-state rates: arrivals[s]/cycles[s] must match each state's
+	// configured rate. With tens of thousands of arrivals per state a 10%
+	// band is ~10σ wide.
+	for s := 0; s < 2; s++ {
+		if gaps.arrivals[s] < 100 {
+			t.Fatalf("state %d saw only %d arrivals; horizon too short", s, gaps.arrivals[s])
+		}
+		got := gaps.cycles[s] / float64(gaps.arrivals[s])
+		if want := gaps.gap[s]; math.Abs(got-want) > 0.1*want {
+			t.Errorf("state %d mean gap = %.1f, want %.1f ± 10%%", s, got, want)
+		}
+	}
+	wantOff := meanGap * (1 + ratio) / 2
+	if gaps.gap[0] != wantOff || gaps.gap[1] != wantOff/ratio {
+		t.Errorf("state gaps = %v, want [%g %g]", gaps.gap, wantOff, wantOff/ratio)
+	}
+
+	// Burstiness: windows shorter than a dwell must see clear
+	// over-dispersion relative to Poisson's index of 1.
+	if bi := burstIndex(recs, horizon, 10_000); bi < 2 {
+		t.Errorf("mmpp burst index = %.2f, want > 2", bi)
+	}
+}
+
+func testTraceStats(t *testing.T) {
+	const (
+		nativeGap = 100
+		n         = 10_000
+		meanGap   = 50.0 // replay at 2x the trace's native rate
+		horizon   = 1_000_000
+	)
+	recs := make([]TraceRecord, n)
+	for i := range recs {
+		recs[i] = TraceRecord{Cycles: uint64((i + 1) * nativeGap), Bytes: 64, Flow: uint32(i % 16)}
+	}
+	path := filepath.Join(t.TempDir(), "stats.bin")
+	writeTraceFile(t, path, recs)
+
+	spec := ArrivalSpec{
+		Cores: 8, Size: 1024, MeanGap: meanGap, Seed: 13,
+		Config: ArrivalConfig{Process: ArrivalTrace, TracePath: path},
+	}
+	got := collectArrivals(t, spec, horizon)
+	// Replay timing is deterministic: the rescaled trace must hit the
+	// configured rate up to loop-boundary rounding, far inside the band.
+	checkMeanRate(t, got, horizon, meanGap, 1)
+
+	// Flow-stable core mapping: every replayed arrival of one flow lands
+	// on one core, and the 16 flows spread beyond a single core.
+	flowCore := map[uint64]int{}
+	cores := map[int]bool{}
+	for _, r := range got {
+		flow := r.tag >> 32
+		if c, ok := flowCore[flow]; ok && c != r.core {
+			t.Fatalf("flow %#x seen on cores %d and %d", flow, c, r.core)
+		}
+		flowCore[flow] = r.core
+		cores[r.core] = true
+	}
+	if len(flowCore) != 16 {
+		t.Errorf("saw %d distinct flows, want 16", len(flowCore))
+	}
+	if len(cores) < 2 {
+		t.Errorf("16 flows all mapped to one core")
+	}
+}
+
+// TestDiurnalEnvelopeTracksCurve phase-bins a diurnally modulated Poisson
+// stream and checks the per-bin rates follow 1 + A·sin(2πt/P).
+func TestDiurnalEnvelopeTracksCurve(t *testing.T) {
+	const (
+		meanGap = 100.0
+		period  = 1_000_000
+		amp     = 0.5
+		periods = 8
+		bins    = 8
+		horizon = periods * period
+	)
+	spec := ArrivalSpec{
+		Cores: 4, Size: 64, MeanGap: meanGap, Seed: 14,
+		Config: ArrivalConfig{DiurnalPeriodCycles: period, DiurnalAmplitude: amp},
+	}
+	recs := collectArrivals(t, spec, horizon)
+	// Thinning preserves the overall mean rate.
+	checkMeanRate(t, recs, horizon, meanGap, 1.5)
+
+	var counts [bins]float64
+	for _, r := range recs {
+		counts[(r.now%period)*bins/period]++
+	}
+	// Each bin's expected count integrates the envelope across the bin;
+	// for bin b spanning phase [b, b+1)/bins the sine integrates in
+	// closed form. 5% of the whole-trace mean per bin is a ≥4σ band.
+	perBin := float64(len(recs)) / bins
+	for b := 0; b < bins; b++ {
+		lo := 2 * math.Pi * float64(b) / bins
+		hi := 2 * math.Pi * float64(b+1) / bins
+		want := perBin * (1 + amp*(math.Cos(lo)-math.Cos(hi))*bins/(2*math.Pi))
+		if math.Abs(counts[b]-want) > 0.05*float64(len(recs))/bins*4 {
+			t.Errorf("phase bin %d: %.0f arrivals, want %.0f", b, counts[b], want)
+		}
+	}
+	// And the peak-to-trough contrast must be visible: bin 1 (quarter
+	// period, envelope ≈ 1.45) against bin 5 (≈ 0.55).
+	if counts[1] < 2*counts[5] {
+		t.Errorf("peak bin %.0f vs trough bin %.0f: envelope contrast missing", counts[1], counts[5])
+	}
+}
+
+// TestFlowPopulationSpreading checks the flow knob: a small population
+// pins arrivals to few cores and few stable tag prefixes; zero flows keep
+// the legacy uniform spray.
+func TestFlowPopulationSpreading(t *testing.T) {
+	spec := ArrivalSpec{
+		Cores: 8, Size: 64, MeanGap: 100, Seed: 15,
+		Config: ArrivalConfig{Flows: 4},
+	}
+	recs := collectArrivals(t, spec, 500_000)
+	flows := map[uint64]int{}
+	cores := map[int]bool{}
+	for _, r := range recs {
+		flows[r.tag>>32]++
+		cores[r.core] = true
+	}
+	if len(flows) != 4 {
+		t.Errorf("flow population 4 produced %d distinct tag prefixes", len(flows))
+	}
+	if len(cores) > 4 {
+		t.Errorf("4 flows landed on %d cores, want ≤ 4", len(cores))
+	}
+
+	spec.Config.Flows = 0
+	recs = collectArrivals(t, spec, 500_000)
+	cores = map[int]bool{}
+	for _, r := range recs {
+		cores[r.core] = true
+	}
+	if len(cores) != 8 {
+		t.Errorf("flowless spray hit %d cores, want all 8", len(cores))
+	}
+}
+
+// TestArrivalReplayDeterminism locks each registered process's exact
+// arrival sequence across a rebuild and across Reset with the same spec.
+func TestArrivalReplayDeterminism(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "det.bin")
+	trecs := make([]TraceRecord, 1000)
+	for i := range trecs {
+		trecs[i] = TraceRecord{Cycles: uint64((i + 1) * 97), Bytes: 200, Flow: uint32(i % 7)}
+	}
+	writeTraceFile(t, tracePath, trecs)
+
+	specs := map[string]ArrivalSpec{
+		ArrivalPoisson: {Cores: 4, Size: 64, MeanGap: 120, Seed: 21,
+			Config: ArrivalConfig{DiurnalPeriodCycles: 100_000, DiurnalAmplitude: 0.3, Flows: 32}},
+		ArrivalMMPP: {Cores: 4, Size: 64, MeanGap: 120, Seed: 22,
+			Config: ArrivalConfig{Process: ArrivalMMPP, BurstRatio: 4}},
+		ArrivalTrace: {Cores: 4, Size: 1024, MeanGap: 60, Seed: 23,
+			Config: ArrivalConfig{Process: ArrivalTrace, TracePath: tracePath}},
+	}
+	for _, name := range ArrivalNames() {
+		spec, ok := specs[name]
+		if !ok {
+			t.Errorf("registered arrival process %q has no determinism spec; add one here", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			const horizon = 300_000
+			a := collectArrivals(t, spec, horizon)
+			b := collectArrivals(t, spec, horizon)
+			if len(a) == 0 {
+				t.Fatal("no arrivals")
+			}
+			if len(a) != len(b) {
+				t.Fatalf("rebuild: %d vs %d arrivals", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("rebuild diverges at arrival %d: %+v vs %+v", i, a[i], b[i])
+				}
+			}
+
+			// Reset must restore the just-constructed sequence: run a
+			// partial window, then reset engine and generator (the pooled
+			// machine.Reset sequence) and replay in full.
+			eng := sim.NewEngine()
+			var c []arrivalRec
+			gen, err := NewArrival(eng, spec, func(now uint64, core int, size uint64, tag uint64) {
+				c = append(c, arrivalRec{now, core, size, tag})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen.Start()
+			eng.RunUntil(horizon / 2)
+			gen.Stop()
+			eng.Reset()
+			if err := gen.Reset(spec); err != nil {
+				t.Fatal(err)
+			}
+			c = nil
+			gen.Start()
+			eng.RunUntil(horizon)
+			if len(a) != len(c) {
+				t.Fatalf("reset: %d vs %d arrivals", len(a), len(c))
+			}
+			for i := range a {
+				if a[i] != c[i] {
+					t.Fatalf("reset diverges at arrival %d: %+v vs %+v", i, a[i], c[i])
+				}
+			}
+		})
+	}
+}
+
+func writeTraceFile(t *testing.T, path string, recs []TraceRecord) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceBinary(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,112 +4,12 @@ import (
 	"math/rand"
 
 	"sweeper/internal/obs"
-	"sweeper/internal/sim"
 )
 
-// PoissonGen is the open-loop traffic generator of the paper's Appendix: it
-// injects packets at a configurable Poisson arrival rate, spraying arrivals
-// uniformly across the per-core rings (receive-side scaling).
-type PoissonGen struct {
-	eng     *sim.Engine
-	nic     *NIC
-	rng     *rand.Rand
-	meanGap float64 // cycles between arrivals across the whole NIC
-	size    uint64
-	sizer   func(tag uint64) uint64
-	cores   int // arrivals target rings [0, cores)
-	stopped bool
-
-	offered uint64
-}
-
-// NewPoissonGen creates a generator injecting size-byte packets with the
-// given mean inter-arrival gap in cycles (machine-wide). The seed makes runs
-// reproducible.
-func NewPoissonGen(eng *sim.Engine, n *NIC, size uint64, meanGapCycles float64, seed int64) *PoissonGen {
-	if meanGapCycles <= 0 {
-		panic("nic: mean inter-arrival gap must be positive")
-	}
-	return &PoissonGen{
-		eng:     eng,
-		nic:     n,
-		rng:     rand.New(rand.NewSource(seed)),
-		meanGap: meanGapCycles,
-		size:    size,
-		cores:   n.NumRings(),
-	}
-}
-
-// Reset restores the generator to its just-constructed state with a new rate
-// and seed, reusing its rand source. The sizer and target-core restriction
-// are cleared; the owner re-installs them as after NewPoissonGen.
-func (g *PoissonGen) Reset(meanGapCycles float64, seed int64) {
-	if meanGapCycles <= 0 {
-		panic("nic: mean inter-arrival gap must be positive")
-	}
-	g.rng.Seed(seed)
-	g.meanGap = meanGapCycles
-	g.sizer = nil
-	g.cores = g.nic.NumRings()
-	g.stopped = false
-	g.offered = 0
-}
-
-// SetSizer installs a per-packet size function of the tag (e.g. small GET
-// requests vs item-sized SETs), overriding the fixed size.
-func (g *PoissonGen) SetSizer(fn func(tag uint64) uint64) { g.sizer = fn }
-
-// SetTargetCores restricts arrivals to rings [0, n), for collocation
-// scenarios where only some cores run the networked application.
-func (g *PoissonGen) SetTargetCores(n int) {
-	if n <= 0 || n > g.nic.NumRings() {
-		panic("nic: target core count out of range")
-	}
-	g.cores = n
-}
-
-// Start schedules the first arrival.
-func (g *PoissonGen) Start() {
-	g.scheduleNext()
-}
-
-// Stop halts generation after any already-scheduled arrival.
-func (g *PoissonGen) Stop() { g.stopped = true }
-
-// Offered returns the number of injection attempts so far (including
-// arrivals dropped at full rings).
-func (g *PoissonGen) Offered() uint64 { return g.offered }
-
-// ResetCounters zeroes the offered-load counter.
-func (g *PoissonGen) ResetCounters() { g.offered = 0 }
-
-// RegisterMetrics exposes the generator's offered-load counter.
-func (g *PoissonGen) RegisterMetrics(r *obs.Registry) {
-	r.Counter("gen.offered", func() uint64 { return g.offered })
-}
-
-// OnEvent implements sim.Sink.
-func (g *PoissonGen) OnEvent(now sim.Cycle, _ uint64) { g.arrive(now) }
-
-func (g *PoissonGen) scheduleNext() {
-	gap := g.rng.ExpFloat64() * g.meanGap
-	g.eng.ScheduleAfter(uint64(gap), g, 0)
-}
-
-func (g *PoissonGen) arrive(now uint64) {
-	if g.stopped {
-		return
-	}
-	core := g.rng.Intn(g.cores)
-	g.offered++
-	tag := g.rng.Uint64()
-	size := g.size
-	if g.sizer != nil {
-		size = g.sizer(tag)
-	}
-	g.nic.Inject(now, core, size, tag)
-	g.scheduleNext()
-}
+// The open-loop generators (Poisson, MMPP, trace replay, ...) live in
+// arrival.go behind the ArrivalGen registry; this file keeps the closed
+// loop, whose keep-D-queued contract is driven by the cores rather than by
+// an arrival clock.
 
 // ClosedLoopGen emulates the §IV-B batching study: it keeps at least D
 // unconsumed packets in every core's RX ring at all times, so the system

@@ -238,7 +238,11 @@ func TestPoissonGeneratorRate(t *testing.T) {
 	n := New(Config{Mode: ModeDDIO, RingSlots: 1024, SlotBytes: 64}, space, inj)
 	eng := sim.NewEngine()
 	// Mean gap 100 cycles -> ~10k arrivals in 1M cycles.
-	g := NewPoissonGen(eng, n, 64, 100, 1)
+	inject := func(now uint64, core int, size uint64, tag uint64) { n.Inject(now, core, size, tag) }
+	g, err := NewArrival(eng, ArrivalSpec{Cores: 4, Size: 64, MeanGap: 100, Seed: 1}, inject)
+	if err != nil {
+		t.Fatal(err)
+	}
 	g.Start()
 	// Keep rings drained so nothing drops.
 	n.SetEnqueueCallback(func(uint64, int) {})
@@ -273,8 +277,11 @@ func TestPoissonSizerAndTargetCores(t *testing.T) {
 	inj := &fakeInjector{}
 	n := New(Config{Mode: ModeDDIO, RingSlots: 16, SlotBytes: 1024}, space, inj)
 	eng := sim.NewEngine()
-	g := NewPoissonGen(eng, n, 1024, 50, 2)
-	g.SetTargetCores(2)
+	inject := func(now uint64, core int, size uint64, tag uint64) { n.Inject(now, core, size, tag) }
+	g, err := NewArrival(eng, ArrivalSpec{Cores: 2, Size: 1024, MeanGap: 50, Seed: 2}, inject)
+	if err != nil {
+		t.Fatal(err)
+	}
 	g.SetSizer(func(tag uint64) uint64 { return 64 })
 	g.Start()
 	eng.RunUntil(5000)
@@ -342,13 +349,17 @@ func TestClosedLoopValidation(t *testing.T) {
 }
 
 func TestPoissonValidation(t *testing.T) {
-	space := addr.NewSpace(1, 1024, 1024)
-	n := New(Config{Mode: ModeDDIO, RingSlots: 4, SlotBytes: 64}, space, &fakeInjector{})
 	eng := sim.NewEngine()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on non-positive gap")
-		}
-	}()
-	NewPoissonGen(eng, n, 64, 0, 1)
+	inject := func(uint64, int, uint64, uint64) {}
+	if _, err := NewArrival(eng, ArrivalSpec{Cores: 1, Size: 64, MeanGap: 0, Seed: 1}, inject); err == nil {
+		t.Fatal("expected error on non-positive gap")
+	}
+	if _, err := NewArrival(eng, ArrivalSpec{Cores: 0, Size: 64, MeanGap: 10, Seed: 1}, inject); err == nil {
+		t.Fatal("expected error on non-positive core count")
+	}
+	spec := ArrivalSpec{Cores: 1, Size: 64, MeanGap: 10, Seed: 1,
+		Config: ArrivalConfig{Process: "nonesuch"}}
+	if _, err := NewArrival(eng, spec, inject); err == nil {
+		t.Fatal("expected error on unknown process")
+	}
 }

@@ -1,0 +1,423 @@
+package nic
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sweeper/internal/obs"
+	"sweeper/internal/sim"
+)
+
+// Trace-replay arrival process: packet arrival timestamps, sizes and flow
+// ids stream from a compact trace file (pcap-derived or synthesized by
+// cmd/tracegen). Replay loops the trace and rescales its timestamps so the
+// mean rate matches the configured offered load — the same trace serves
+// every point of a rate sweep or peak search.
+//
+// Two on-disk formats share one parser:
+//
+//   - binary: magic "SWPT", uint32 version (1), uint64 record count, then
+//     per record uint32 delta-cycles / uint32 bytes / uint32 flow, all
+//     little-endian. Deltas are gaps to the previous arrival, so binary
+//     traces are monotone by construction.
+//   - CSV: a "cycles,bytes,flow" header then one record per line with
+//     absolute, non-decreasing timestamps.
+//
+// ParseTrace is fuzzed: malformed headers, truncated records and
+// non-monotone timestamps must error, never panic or hang.
+
+// traceMagic brands binary trace files.
+const traceMagic = "SWPT"
+
+// traceVersion is the current binary format version.
+const traceVersion = 1
+
+// traceRecBytes is the size of one binary record.
+const traceRecBytes = 12
+
+// maxTraceRecords bounds parsed traces (a 128M-record trace is 1.5GB on
+// disk; anything claiming more is corrupt).
+const maxTraceRecords = 128 << 20
+
+// TraceRecord is one packet arrival of a trace, in native trace time.
+type TraceRecord struct {
+	// Cycles is the absolute arrival timestamp (non-decreasing).
+	Cycles uint64
+	// Bytes is the wire size (clamped to the ring slot size at replay).
+	Bytes uint32
+	// Flow identifies the connection, for RSS core selection and
+	// flow-stable tagging.
+	Flow uint32
+}
+
+// Trace is a parsed arrival trace.
+type Trace struct {
+	times []uint64
+	sizes []uint32
+	flows []uint32
+	// duration is the native length of one replay epoch: the last
+	// timestamp plus one mean gap, so looping does not fuse the tail
+	// and head arrivals.
+	duration uint64
+}
+
+// Len returns the record count.
+func (t *Trace) Len() int { return len(t.times) }
+
+// meanGap returns the native mean inter-arrival gap.
+func (t *Trace) meanGap() float64 { return float64(t.duration) / float64(len(t.times)) }
+
+// ParseTrace reads a trace in either format, sniffing the binary magic.
+// All malformed inputs return errors; the parser never panics and reads
+// each byte once.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(traceMagic))
+	if err == nil && bytes.Equal(head, []byte(traceMagic)) {
+		return parseBinaryTrace(br)
+	}
+	return parseCSVTrace(br)
+}
+
+func parseBinaryTrace(r *bufio.Reader) (*Trace, error) {
+	var hdr [16]byte // magic + version + count
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("nic: trace header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != traceVersion {
+		return nil, fmt.Errorf("nic: trace version %d (want %d)", v, traceVersion)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	if count == 0 {
+		return nil, fmt.Errorf("nic: empty trace")
+	}
+	if count > maxTraceRecords {
+		return nil, fmt.Errorf("nic: trace claims %d records (max %d)", count, maxTraceRecords)
+	}
+	tr := &Trace{}
+	var rec [traceRecBytes]byte
+	var now uint64
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, fmt.Errorf("nic: trace truncated at record %d of %d: %w", i, count, err)
+		}
+		now += uint64(binary.LittleEndian.Uint32(rec[0:4]))
+		size := binary.LittleEndian.Uint32(rec[4:8])
+		if size == 0 {
+			return nil, fmt.Errorf("nic: trace record %d has zero size", i)
+		}
+		tr.times = append(tr.times, now)
+		tr.sizes = append(tr.sizes, size)
+		tr.flows = append(tr.flows, binary.LittleEndian.Uint32(rec[8:12]))
+	}
+	if _, err := r.ReadByte(); err == nil {
+		return nil, fmt.Errorf("nic: trailing data after %d trace records", count)
+	}
+	return tr.seal()
+}
+
+func parseCSVTrace(r *bufio.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("nic: trace: %w", err)
+		}
+		return nil, fmt.Errorf("nic: empty trace")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "cycles,bytes,flow" {
+		return nil, fmt.Errorf("nic: trace CSV header %q (want \"cycles,bytes,flow\")", got)
+	}
+	tr := &Trace{}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("nic: trace line %d: %d fields (want 3)", line, len(fields))
+		}
+		cycles, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("nic: trace line %d: cycles: %v", line, err)
+		}
+		size, err := strconv.ParseUint(strings.TrimSpace(fields[1]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("nic: trace line %d: bytes: %v", line, err)
+		}
+		flow, err := strconv.ParseUint(strings.TrimSpace(fields[2]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("nic: trace line %d: flow: %v", line, err)
+		}
+		if size == 0 {
+			return nil, fmt.Errorf("nic: trace line %d: zero size", line)
+		}
+		if n := len(tr.times); n > 0 && cycles < tr.times[n-1] {
+			return nil, fmt.Errorf("nic: trace line %d: timestamp %d before %d (must be non-decreasing)",
+				line, cycles, tr.times[n-1])
+		}
+		if len(tr.times) >= maxTraceRecords {
+			return nil, fmt.Errorf("nic: trace exceeds %d records", maxTraceRecords)
+		}
+		tr.times = append(tr.times, cycles)
+		tr.sizes = append(tr.sizes, uint32(size))
+		tr.flows = append(tr.flows, uint32(flow))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("nic: trace: %w", err)
+	}
+	if len(tr.times) == 0 {
+		return nil, fmt.Errorf("nic: trace has a header but no records")
+	}
+	return tr.seal()
+}
+
+// seal derives the epoch duration and validates the whole-trace shape.
+func (t *Trace) seal() (*Trace, error) {
+	n := uint64(len(t.times))
+	last := t.times[n-1]
+	// Tail gap: the mean gap of the body, floored at 1 so duration
+	// strictly exceeds the last timestamp even for single-arrival and
+	// zero-span traces.
+	tail := (last-t.times[0])/n + 1
+	if last > math.MaxUint64-tail {
+		return nil, fmt.Errorf("nic: trace timestamp %d too large to loop", last)
+	}
+	t.duration = last + tail
+	return t, nil
+}
+
+// WriteTraceBinary emits records in the binary SWPT format. Records must be
+// time-ordered with gaps representable in uint32.
+func WriteTraceBinary(w io.Writer, recs []TraceRecord) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("nic: refusing to write an empty trace")
+	}
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	copy(hdr[0:4], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(recs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var prev uint64
+	var rec [traceRecBytes]byte
+	for i, r := range recs {
+		if r.Cycles < prev {
+			return fmt.Errorf("nic: record %d: timestamp %d before %d", i, r.Cycles, prev)
+		}
+		delta := r.Cycles - prev
+		if delta > 1<<32-1 {
+			return fmt.Errorf("nic: record %d: gap %d exceeds uint32", i, delta)
+		}
+		if r.Bytes == 0 {
+			return fmt.Errorf("nic: record %d: zero size", i)
+		}
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(delta))
+		binary.LittleEndian.PutUint32(rec[4:8], r.Bytes)
+		binary.LittleEndian.PutUint32(rec[8:12], r.Flow)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+		prev = r.Cycles
+	}
+	return bw.Flush()
+}
+
+// WriteTraceCSV emits records in the CSV format.
+func WriteTraceCSV(w io.Writer, recs []TraceRecord) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("nic: refusing to write an empty trace")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "cycles,bytes,flow"); err != nil {
+		return err
+	}
+	var prev uint64
+	for i, r := range recs {
+		if r.Cycles < prev {
+			return fmt.Errorf("nic: record %d: timestamp %d before %d", i, r.Cycles, prev)
+		}
+		if r.Bytes == 0 {
+			return fmt.Errorf("nic: record %d: zero size", i)
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d\n", r.Cycles, r.Bytes, r.Flow); err != nil {
+			return err
+		}
+		prev = r.Cycles
+	}
+	return bw.Flush()
+}
+
+// traceCache shares parsed traces across generator builds: a peak search
+// builds ~20 machines per configuration and pooled resets re-apply the
+// spec, so re-reading the file per probe would dominate. Trace files are
+// treated as immutable for the process lifetime.
+var traceCache sync.Map // path -> *Trace
+
+// LoadTrace parses the trace at path, memoizing per path.
+func LoadTrace(path string) (*Trace, error) {
+	if t, ok := traceCache.Load(path); ok {
+		return t.(*Trace), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nic: trace: %w", err)
+	}
+	defer f.Close()
+	tr, err := ParseTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("nic: trace %s: %w", path, err)
+	}
+	t, _ := traceCache.LoadOrStore(path, tr)
+	return t.(*Trace), nil
+}
+
+func init() {
+	RegisterArrival(ArrivalRegistration{
+		Name: ArrivalTrace,
+		New: func(eng *sim.Engine, spec ArrivalSpec, inject InjectFunc) (ArrivalGen, error) {
+			g := &traceGen{
+				eng:    eng,
+				rng:    rand.New(rand.NewSource(spec.Seed)),
+				inject: inject,
+			}
+			if err := g.apply(spec); err != nil {
+				return nil, err
+			}
+			return g, nil
+		},
+		Validate: func(cfg ArrivalConfig) error {
+			if cfg.TracePath == "" {
+				return fmt.Errorf("nic: trace arrival process needs a trace path")
+			}
+			if cfg.DiurnalAmplitude > 0 {
+				return fmt.Errorf("nic: trace arrivals carry their own time structure; diurnal envelope not supported")
+			}
+			return nil
+		},
+	})
+}
+
+// traceGen replays a parsed trace through the NIC: native timestamps are
+// scaled so the replay's mean rate equals the spec's offered load, flows
+// map to rings through the same RSS hash the flow-population processes use,
+// and the trace loops when it runs out (with the epoch's duration keeping
+// head and tail gaps sane). Record sizes override the workload sizer —
+// the wire says how big the packet was.
+type traceGen struct {
+	eng    *sim.Engine
+	rng    *rand.Rand
+	inject InjectFunc
+	tr     *Trace
+
+	scale    float64 // native cycles -> simulated cycles
+	cores    int
+	maxSize  uint64 // ring slot size; record sizes clamp to it
+	flowSeed uint64
+
+	idx     int    // next record to replay
+	epoch   uint64 // native offset of the current replay epoch
+	prev    uint64 // scaled timestamp of the previous arrival
+	stopped bool
+
+	offered uint64
+	wraps   uint64
+}
+
+func (g *traceGen) apply(spec ArrivalSpec) error {
+	tr, err := LoadTrace(spec.Config.TracePath)
+	if err != nil {
+		return err
+	}
+	g.tr = tr
+	g.scale = spec.MeanGap / tr.meanGap()
+	g.cores = spec.Cores
+	g.maxSize = spec.Size
+	g.flowSeed = splitmix64(uint64(spec.Seed) ^ 0x9e3779b97f4a7c15)
+	g.idx = 0
+	g.epoch = 0
+	g.prev = 0
+	g.stopped = false
+	g.offered = 0
+	g.wraps = 0
+	return nil
+}
+
+// Reset restores the generator under a new spec (new trace, rate or seed).
+func (g *traceGen) Reset(spec ArrivalSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	g.rng.Seed(spec.Seed)
+	return g.apply(spec)
+}
+
+// SetSizer is a no-op: trace records carry their own sizes.
+func (g *traceGen) SetSizer(func(tag uint64) uint64) {}
+
+// Start schedules the first arrival at the trace's scaled first timestamp.
+func (g *traceGen) Start() { g.scheduleNext() }
+
+// Stop halts replay after any already-scheduled arrival.
+func (g *traceGen) Stop() { g.stopped = true }
+
+// Offered returns injection attempts so far.
+func (g *traceGen) Offered() uint64 { return g.offered }
+
+// ResetCounters zeroes the offered-load counter.
+func (g *traceGen) ResetCounters() { g.offered = 0 }
+
+// RegisterMetrics exposes the offered-load and trace-wrap counters.
+func (g *traceGen) RegisterMetrics(r *obs.Registry) {
+	r.Counter("gen.offered", func() uint64 { return g.offered })
+	r.Counter("gen.trace_wraps", func() uint64 { return g.wraps })
+}
+
+// OnEvent implements sim.Sink.
+func (g *traceGen) OnEvent(now sim.Cycle, _ uint64) { g.arrive(now) }
+
+// scheduleNext schedules the arrival of record idx. Scaled timestamps are
+// computed from the absolute native clock (epoch offset + record time), so
+// rounding never accumulates drift across a long replay.
+func (g *traceGen) scheduleNext() {
+	native := g.epoch + g.tr.times[g.idx]
+	scaled := uint64(float64(native) * g.scale)
+	g.eng.ScheduleAfter(scaled-g.prev, g, 0)
+	g.prev = scaled
+}
+
+func (g *traceGen) arrive(now uint64) {
+	if g.stopped {
+		return
+	}
+	size := uint64(g.tr.sizes[g.idx])
+	if size > g.maxSize {
+		size = g.maxSize
+	}
+	fh := splitmix64(g.flowSeed ^ uint64(g.tr.flows[g.idx]))
+	core := int(fh % uint64(g.cores))
+	tag := fh&^uint64(1<<32-1) | g.rng.Uint64()&(1<<32-1)
+	g.offered++
+	g.inject(now, core, size, tag)
+
+	g.idx++
+	if g.idx == g.tr.Len() {
+		g.idx = 0
+		g.epoch += g.tr.duration
+		g.wraps++
+	}
+	g.scheduleNext()
+}

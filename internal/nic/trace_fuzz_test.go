@@ -1,0 +1,65 @@
+package nic
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseTrace hammers the trace parser with arbitrary bytes: whatever
+// the input, it must return a well-formed trace or an error — no panics,
+// no hangs, no half-initialized traces. The seed corpus covers both
+// formats plus the interesting malformations; go test runs the seeds (and
+// the committed corpus under testdata/fuzz) even without -fuzz.
+func FuzzParseTrace(f *testing.F) {
+	var ok bytes.Buffer
+	if err := WriteTraceBinary(&ok, sampleRecords()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ok.Bytes())
+	var okCSV bytes.Buffer
+	if err := WriteTraceCSV(&okCSV, sampleRecords()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(okCSV.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte(traceMagic))
+	f.Add(binTrace(traceVersion, 2, binRec(1, 64, 0)))               // truncated body
+	f.Add(binTrace(traceVersion, 1<<40, nil))                        // absurd count
+	f.Add(binTrace(0, 1, binRec(1, 64, 0)))                          // bad version
+	f.Add(append(binTrace(traceVersion, 1, binRec(1, 64, 0)), 0x00)) // trailing byte
+	f.Add([]byte("cycles,bytes,flow\n50,64,0\n40,64,1\n"))           // time reversal
+	f.Add([]byte("cycles,bytes,flow\n18446744073709551615,4294967295,4294967295\n"))
+	f.Add([]byte("cycles,bytes,flow\n1,0,0\n")) // zero size
+	f.Add([]byte("SWP"))                        // near-magic prefix
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseTrace(bytes.NewReader(data))
+		if err != nil {
+			if tr != nil {
+				t.Fatal("non-nil trace alongside an error")
+			}
+			return
+		}
+		// A successfully parsed trace must uphold the replay invariants.
+		if tr.Len() == 0 {
+			t.Fatal("parsed trace has no records")
+		}
+		if tr.Len() > maxTraceRecords {
+			t.Fatalf("parsed trace has %d records, over the cap", tr.Len())
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if tr.sizes[i] == 0 {
+				t.Fatalf("record %d has zero size", i)
+			}
+			if i > 0 && tr.times[i] < tr.times[i-1] {
+				t.Fatalf("record %d goes back in time", i)
+			}
+		}
+		if tr.duration <= tr.times[tr.Len()-1] {
+			t.Fatalf("duration %d within the trace span", tr.duration)
+		}
+		if tr.meanGap() <= 0 {
+			t.Fatalf("mean gap %g", tr.meanGap())
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package nic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func sampleRecords() []TraceRecord {
+	return []TraceRecord{
+		{Cycles: 100, Bytes: 64, Flow: 3},
+		{Cycles: 250, Bytes: 1500, Flow: 7},
+		{Cycles: 250, Bytes: 576, Flow: 3}, // equal timestamps are legal
+		{Cycles: 900, Bytes: 64, Flow: 0},
+	}
+}
+
+func roundTrip(t *testing.T, write func(*bytes.Buffer) error) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTraceRoundTripBinary(t *testing.T) {
+	recs := sampleRecords()
+	tr := roundTrip(t, func(b *bytes.Buffer) error { return WriteTraceBinary(b, recs) })
+	checkTraceMatches(t, tr, recs)
+}
+
+func TestTraceRoundTripCSV(t *testing.T) {
+	recs := sampleRecords()
+	tr := roundTrip(t, func(b *bytes.Buffer) error { return WriteTraceCSV(b, recs) })
+	checkTraceMatches(t, tr, recs)
+}
+
+func checkTraceMatches(t *testing.T, tr *Trace, recs []TraceRecord) {
+	t.Helper()
+	if tr.Len() != len(recs) {
+		t.Fatalf("parsed %d records, want %d", tr.Len(), len(recs))
+	}
+	for i, r := range recs {
+		if tr.times[i] != r.Cycles || tr.sizes[i] != r.Bytes || tr.flows[i] != r.Flow {
+			t.Errorf("record %d: (%d,%d,%d), want (%d,%d,%d)", i,
+				tr.times[i], tr.sizes[i], tr.flows[i], r.Cycles, r.Bytes, r.Flow)
+		}
+	}
+	if tr.duration <= recs[len(recs)-1].Cycles {
+		t.Errorf("duration %d does not exceed the last timestamp %d",
+			tr.duration, recs[len(recs)-1].Cycles)
+	}
+}
+
+func TestTraceCSVWhitespaceAndBlanks(t *testing.T) {
+	in := "cycles,bytes,flow\n10, 64, 1\n\n  20,576,2  \n"
+	tr, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 || tr.times[1] != 20 || tr.sizes[0] != 64 {
+		t.Fatalf("parsed %+v", tr)
+	}
+}
+
+// binTrace builds a binary trace image: header with the given version and
+// count, then the provided record bytes.
+func binTrace(version uint32, count uint64, body []byte) []byte {
+	var hdr [16]byte
+	copy(hdr[0:4], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], count)
+	return append(hdr[:], body...)
+}
+
+func binRec(delta, size, flow uint32) []byte {
+	var rec [traceRecBytes]byte
+	binary.LittleEndian.PutUint32(rec[0:4], delta)
+	binary.LittleEndian.PutUint32(rec[4:8], size)
+	binary.LittleEndian.PutUint32(rec[8:12], flow)
+	return rec[:]
+}
+
+func TestTraceParseErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty input":        {},
+		"truncated header":   []byte(traceMagic),
+		"bad version":        binTrace(2, 1, binRec(1, 64, 0)),
+		"zero count":         binTrace(traceVersion, 0, nil),
+		"huge count":         binTrace(traceVersion, maxTraceRecords+1, nil),
+		"truncated body":     binTrace(traceVersion, 2, binRec(1, 64, 0)),
+		"partial record":     binTrace(traceVersion, 1, binRec(1, 64, 0)[:7]),
+		"zero size":          binTrace(traceVersion, 1, binRec(1, 0, 0)),
+		"trailing data":      append(binTrace(traceVersion, 1, binRec(1, 64, 0)), 0xee),
+		"csv bad header":     []byte("time,size,conn\n1,64,0\n"),
+		"csv missing field":  []byte("cycles,bytes,flow\n1,64\n"),
+		"csv extra field":    []byte("cycles,bytes,flow\n1,64,0,9\n"),
+		"csv non-numeric":    []byte("cycles,bytes,flow\nx,64,0\n"),
+		"csv zero size":      []byte("cycles,bytes,flow\n1,0,0\n"),
+		"csv time reversal":  []byte("cycles,bytes,flow\n50,64,0\n40,64,1\n"),
+		"csv header only":    []byte("cycles,bytes,flow\n"),
+		"csv size overflow":  []byte("cycles,bytes,flow\n1,4294967296,0\n"),
+		"csv negative cycle": []byte("cycles,bytes,flow\n-1,64,0\n"),
+	}
+	for name, in := range cases {
+		if _, err := ParseTrace(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestTraceWriterRejectsBadRecords(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceBinary(&buf, nil); err == nil {
+		t.Error("empty trace written")
+	}
+	disordered := []TraceRecord{{Cycles: 10, Bytes: 64}, {Cycles: 5, Bytes: 64}}
+	if err := WriteTraceBinary(&buf, disordered); err == nil {
+		t.Error("disordered trace written")
+	}
+	if err := WriteTraceCSV(&buf, disordered); err == nil {
+		t.Error("disordered CSV trace written")
+	}
+	wideGap := []TraceRecord{{Cycles: 0, Bytes: 64}, {Cycles: 1 << 33, Bytes: 64}}
+	if err := WriteTraceBinary(&buf, wideGap); err == nil {
+		t.Error("gap wider than uint32 written")
+	}
+	zeroSize := []TraceRecord{{Cycles: 1, Bytes: 0}}
+	if err := WriteTraceBinary(&buf, zeroSize); err == nil {
+		t.Error("zero-size record written")
+	}
+}
+
+func TestTraceSealDuration(t *testing.T) {
+	// Single arrival and zero-span traces still get a positive epoch tail.
+	one := roundTrip(t, func(b *bytes.Buffer) error {
+		return WriteTraceBinary(b, []TraceRecord{{Cycles: 40, Bytes: 64}})
+	})
+	if one.duration <= 40 {
+		t.Errorf("single-record duration %d", one.duration)
+	}
+	flat := roundTrip(t, func(b *bytes.Buffer) error {
+		return WriteTraceBinary(b, []TraceRecord{{Cycles: 7, Bytes: 64}, {Cycles: 7, Bytes: 64}})
+	})
+	if flat.duration <= 7 {
+		t.Errorf("zero-span duration %d", flat.duration)
+	}
+}
+
+func TestLoadTraceMemoizes(t *testing.T) {
+	path := t.TempDir() + "/memo.bin"
+	writeTraceFile(t, path, sampleRecords())
+	a, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("LoadTrace re-parsed a cached path")
+	}
+	if _, err := LoadTrace(t.TempDir() + "/nonesuch.bin"); err == nil {
+		t.Error("missing file loaded")
+	}
+}

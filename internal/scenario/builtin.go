@@ -126,6 +126,23 @@ func builtins() []Spec {
 			Machine:     collocationKnobs(),
 		},
 		{
+			Name:        "mmpp",
+			Description: "KVS under bursty 2-state MMPP arrivals over a 512-flow population",
+			Machine: Knobs{
+				Workload: workload.NameKVS,
+				Arrival:  "mmpp",
+				Set: map[string]float64{
+					"arrival_burst_dwell": 131072,
+					"arrival_flows":       512,
+				},
+			},
+			Variants: []Variant{vDDIO(2, false), vDDIO(2, true)},
+			Sweep: []Axis{{Name: "burst ratio", Points: []Point{
+				{Label: "R=2", Set: map[string]float64{"arrival_burst_ratio": 2}},
+				{Label: "R=8", Set: map[string]float64{"arrival_burst_ratio": 8}},
+			}}},
+		},
+		{
 			Name:        "fig1",
 			Description: "KVS network data leaks: DMA vs DDIO vs Ideal across ring depths",
 			Machine:     kvsKnobs(),

@@ -50,6 +50,13 @@ type Knobs struct {
 	SampleMode string `json:"sample_mode,omitempty"`
 	// WarmLLC overrides the warm-fill default when non-nil.
 	WarmLLC *bool `json:"warm_llc,omitempty"`
+	// Arrival names the open-loop arrival process in the nic registry
+	// ("poisson", "mmpp", "trace"; empty keeps Poisson), ArrivalTrace
+	// the trace file replayed by the "trace" process. The numeric
+	// arrival knobs (arrival_burst_ratio, arrival_flows, ...) live in
+	// Set.
+	Arrival      string `json:"arrival,omitempty"`
+	ArrivalTrace string `json:"arrival_trace,omitempty"`
 	// Topology and LBPolicy select the cluster fabric wiring and the
 	// load-balancer policy when the "nodes" knob raises the run to a
 	// rack; both default empty (star, cluster.DefaultPolicy). The node
@@ -261,6 +268,16 @@ func applyMachineKnob(cfg *machine.Config, knob string, v float64) error {
 		cfg.Shards = int(v)
 	case "nebula_drop_depth":
 		cfg.NeBuLaDropDepth = int(v)
+	case "arrival_burst_ratio":
+		cfg.Arrival.BurstRatio = v
+	case "arrival_burst_dwell":
+		cfg.Arrival.BurstDwellCycles = uint64(v)
+	case "arrival_diurnal_period":
+		cfg.Arrival.DiurnalPeriodCycles = uint64(v)
+	case "arrival_diurnal_amp":
+		cfg.Arrival.DiurnalAmplitude = v
+	case "arrival_flows":
+		cfg.Arrival.Flows = int(v)
 	case "sample_detailed_cycles":
 		cfg.Sampling.DetailedCycles = uint64(v)
 	case "sample_ff_cycles":
@@ -306,6 +323,12 @@ func (s Spec) baseConfig() (runConfig, error) {
 	}
 	if s.Machine.SampleMode != "" {
 		rc.m.Sampling.Mode = s.Machine.SampleMode
+	}
+	if s.Machine.Arrival != "" {
+		rc.m.Arrival.Process = s.Machine.Arrival
+	}
+	if s.Machine.ArrivalTrace != "" {
+		rc.m.Arrival.TracePath = s.Machine.ArrivalTrace
 	}
 	if s.Machine.WarmLLC != nil {
 		rc.m.WarmLLC = *s.Machine.WarmLLC
