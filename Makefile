@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e bench-parallel bench-sampling bench-cluster race-parallel check results obs-smoke sampling-smoke cluster-smoke traffic-smoke golden-fig8 test-debug
+.PHONY: all build test vet lint race bench bench-engine bench-mem bench-e2e bench-parallel bench-sampling bench-cluster bench-tiers race-parallel check results obs-smoke sampling-smoke cluster-smoke traffic-smoke tiers-smoke golden-fig8 test-debug
 
 all: check
 
@@ -63,6 +63,13 @@ bench-sampling:
 bench-cluster:
 	$(GO) run ./cmd/benchcluster -out BENCH_cluster.json
 
+# Hybrid-memory datapath cost: tiers off vs on, clsweep vs simf, recorded to
+# BENCH_tiers.json. The tiers-off points guard the fast path — with
+# Config.MemTier disabled the datapath must cost what it did before tiering
+# existed.
+bench-tiers:
+	$(GO) run ./cmd/benchtiers -out BENCH_tiers.json
+
 # Race detection focused on the parallel engine's cross-shard paths, with
 # the invariant probes compiled in and the harvest pool forced on. Includes
 # the sampled-simulation tests: the error-bound validation plus the
@@ -72,9 +79,9 @@ race-parallel:
 		./internal/sim/ ./internal/machine/ \
 		-run 'Parallel|Shard|Sharded|Lookahead|CancelDuringEpoch|Sampl'
 
-bench: bench-engine bench-mem bench-e2e bench-parallel bench-sampling bench-cluster
+bench: bench-engine bench-mem bench-e2e bench-parallel bench-sampling bench-cluster bench-tiers
 
-check: build vet lint test race bench-engine sampling-smoke cluster-smoke traffic-smoke
+check: build vet lint test race bench-engine sampling-smoke cluster-smoke traffic-smoke tiers-smoke
 
 # Observability smoke: drive the CLI with every exporter enabled against the
 # kvs scenario, then validate the artifacts (CSV/JSON structure) in-process.
@@ -117,6 +124,21 @@ traffic-smoke:
 	SWEEPER_TRAFFIC_MANIFEST=$(CURDIR)/artifacts/traffic_manifest.json \
 		$(GO) test ./internal/machine -run TestTrafficManifestSmoke -count=1 -v
 	$(GO) run ./cmd/sweepersim -scenario examples/scenarios/mmpp.json \
+		-warmup 300000 -measure 200000
+
+# Hybrid-tier smoke: drive the CLI's tier and invalidation-instruction flags
+# (hot-page placement, SIMF bulk invalidation) with the manifest exporter on,
+# validate the manifest (tier config, counters, mem.tier1.* metrics)
+# in-process, then run the shipped tiers scenario end-to-end.
+tiers-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/sweepersim -sweeper -invalidate-insn simf \
+		-mem-tier hotpage -mem-tier-split 16777216 \
+		-warmup 300000 -measure 200000 \
+		-manifest artifacts/tiers_manifest.json
+	SWEEPER_TIERS_MANIFEST=$(CURDIR)/artifacts/tiers_manifest.json \
+		$(GO) test ./internal/machine -run TestTiersManifestSmoke -count=1 -v
+	$(GO) run ./cmd/sweepersim -scenario examples/scenarios/tiers.json \
 		-warmup 300000 -measure 200000
 
 # Figure 8 golden gate: byte-compares regenerated fig8a/fig8b CSVs against

@@ -397,6 +397,32 @@ func BenchmarkClusterRunOnce(b *testing.B) {
 	}
 }
 
+// BenchmarkTieredRunOnce is the hybrid-memory end-to-end benchmark: one
+// complete run with hot-page placement over a DRAM+tier-1 split and the SIMF
+// bulk-invalidation instruction — the full ROADMAP item 4 datapath. Compare
+// against BenchmarkRunOnce for the tier-routing overhead; with tiers off the
+// datapath takes a nil-check-only fast path, so BenchmarkRunOnce itself must
+// not move. `make bench-tiers` records the off/on comparison to
+// BENCH_tiers.json.
+func BenchmarkTieredRunOnce(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := sweeper.DefaultConfig()
+		cfg.OfferedMrps = 10
+		cfg.Sweeper.RXSweep = true
+		cfg.Sweeper.Insn = "simf"
+		cfg.MemTier = mem.DefaultTierConfig(mem.TierHotPage)
+		cfg.MemTier.DRAMBytes = 16 << 20
+		r := sweeper.Run(cfg, 200_000, 400_000)
+		if r.Served == 0 {
+			b.Fatal("no requests served")
+		}
+		if r.Tier1Accesses == 0 {
+			b.Fatal("tiered run never touched tier 1")
+		}
+	}
+}
+
 // BenchmarkSimulatedCyclesPerSecond measures raw simulation speed on the
 // default configuration: reported metric is simulated Mcycles per wall
 // second.

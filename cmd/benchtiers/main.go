@@ -1,0 +1,157 @@
+// Command benchtiers records the hybrid-memory datapath's cost: it runs the
+// default machine with tiering off and on, across the cheap (clsweep) and
+// bulk (simf) invalidation instructions, measures simulated cycles per wall
+// second for each, and writes the comparison as JSON.
+//
+//	benchtiers -out BENCH_tiers.json
+//
+// The tiers-off points are the fast-path guard: when Config.MemTier is
+// disabled the datapath routes every access through a nil-check-only branch,
+// so their cost must match the pre-tier engine (BenchmarkRunOnce) within
+// noise. The tiers-on points price the hot-page ledger and the tier-1 device
+// model. Each point is also run twice and cross-checked for bit-identical
+// Results — a cost record of a nondeterministic simulation would be
+// worthless.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"sweeper/internal/core"
+	"sweeper/internal/machine"
+	"sweeper/internal/mem"
+)
+
+// point is one measured (memory, instruction) pair.
+type point struct {
+	Memory        string  `json:"memory"`
+	Insn          string  `json:"insn"`
+	WallSec       float64 `json:"wall_seconds"`
+	SimcycPS      float64 `json:"simcyc_per_sec"`
+	SlowdownX     float64 `json:"slowdown_vs_dram_clsweep"`
+	Served        uint64  `json:"served"`
+	Tier1Accesses uint64  `json:"tier1_accesses"`
+	SweptLines    uint64  `json:"swept_lines"`
+	WrittenBack   uint64  `json:"written_back_lines"`
+	Deterministic bool    `json:"rerun_identical"`
+}
+
+type report struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	Warmup      uint64  `json:"warmup_cycles"`
+	Measure     uint64  `json:"measure_cycles"`
+	Reps        int     `json:"reps_per_point"`
+	Points      []point `json:"points"`
+	Note        string  `json:"note"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtiers: ")
+
+	var (
+		out     = flag.String("out", "BENCH_tiers.json", "output JSON path")
+		warmup  = flag.Uint64("warmup", 500_000, "warmup cycles per run")
+		measure = flag.Uint64("measure", 1_000_000, "measurement cycles per run")
+		reps    = flag.Int("reps", 3, "timed repetitions per point (best is kept)")
+		split   = flag.Uint64("split", 16<<20, "DRAM bytes before the tier-1 boundary (hybrid points)")
+	)
+	flag.Parse()
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Warmup:      *warmup,
+		Measure:     *measure,
+		Reps:        *reps,
+		Note: "dram points keep Config.MemTier disabled and must match the " +
+			"pre-tier engine's cost (BenchmarkRunOnce) within noise — the " +
+			"tier datapath is a nil check when off. hybrid points add the " +
+			"hot-page ledger and the tier-1 device model. Reruns are " +
+			"bit-identical by construction. See DESIGN.md §15.",
+	}
+
+	hybrid := mem.DefaultTierConfig(mem.TierHotPage)
+	hybrid.DRAMBytes = *split
+
+	total := float64(*warmup + *measure)
+	var baseRate float64
+	for _, memName := range []string{"dram", "hybrid"} {
+		for _, insn := range []string{core.InsnCLSweep, core.InsnSIMF} {
+			cfg := machine.DefaultConfig()
+			cfg.OfferedMrps = 10
+			cfg.Sweeper.RXSweep = true
+			cfg.Sweeper.Insn = insn
+			if memName == "hybrid" {
+				cfg.MemTier = hybrid
+			}
+			run := func() (machine.Results, float64) {
+				m, err := machine.New(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				start := time.Now()
+				r := m.Run(*warmup, *measure)
+				return r, time.Since(start).Seconds()
+			}
+			var best float64
+			var r machine.Results
+			for i := 0; i < *reps; i++ {
+				res, sec := run()
+				if best == 0 || sec < best {
+					best = sec
+				}
+				r = res
+			}
+			recheck, _ := run()
+			p := point{
+				Memory:        memName,
+				Insn:          insn,
+				WallSec:       best,
+				SimcycPS:      total / best,
+				Served:        r.Served,
+				Tier1Accesses: r.Tier1Accesses,
+				SweptLines:    r.Sweeper.SweptLines,
+				WrittenBack:   r.Sweeper.WrittenBackLines,
+				Deterministic: reflect.DeepEqual(recheck, r),
+			}
+			if !p.Deterministic {
+				log.Fatalf("%s/%s rerun diverged", memName, insn)
+			}
+			if memName == "hybrid" && p.Tier1Accesses == 0 {
+				log.Fatalf("%s/%s never touched tier 1", memName, insn)
+			}
+			if baseRate == 0 {
+				baseRate = p.SimcycPS
+			}
+			p.SlowdownX = baseRate / p.SimcycPS
+			rep.Points = append(rep.Points, p)
+			fmt.Printf("%s/%s: %.2f Msimcyc/s, %.2fx dram/clsweep cost, %d served, %d tier-1 accesses\n",
+				memName, insn, p.SimcycPS/1e6, p.SlowdownX, p.Served, p.Tier1Accesses)
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

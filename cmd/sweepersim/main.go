@@ -22,6 +22,7 @@ import (
 	"sweeper/internal/cluster"
 	"sweeper/internal/core"
 	"sweeper/internal/machine"
+	"sweeper/internal/mem"
 	"sweeper/internal/nic"
 	"sweeper/internal/obs"
 	"sweeper/internal/prof"
@@ -58,6 +59,14 @@ func main() {
 		channels     = flag.Int("channels", 4, "DDR4 channels")
 		sweeperOn    = flag.Bool("sweeper", false, "enable Sweeper RX relinquish")
 		sweepTX      = flag.Bool("sweep-tx", false, "enable NIC-driven TX sweeping (§V-D)")
+		insn         = flag.String("invalidate-insn", "", "relinquish instruction: "+strings.Join(core.InsnNames(), ", ")+" (empty = clsweep)")
+		simfBatch    = flag.Int("simf-batch", 0, "simf: lines invalidated per batch (0 = default 64)")
+		simfSetup    = flag.Int("simf-setup", 0, "simf: fixed setup cycles per bulk flush")
+		tierPolicy   = flag.String("mem-tier", "", "hybrid memory placement policy: "+strings.Join(mem.TierPolicies(), ", ")+" (empty = DRAM only)")
+		tierSplit    = flag.Uint64("mem-tier-split", 0, "hybrid memory: app-heap bytes kept on DRAM (0 = whole heap on tier 1)")
+		tierReadLat  = flag.Uint64("mem-tier-read-lat", 0, "hybrid memory: tier-1 read latency in cycles (0 = default 300)")
+		tierWriteLat = flag.Uint64("mem-tier-write-lat", 0, "hybrid memory: tier-1 write latency in cycles (0 = default 1000)")
+		tierBW       = flag.Float64("mem-tier-bw", 0, "hybrid memory: tier-1 bandwidth ceiling in GB/s (0 = default 16)")
 		warmup       = flag.Uint64("warmup", 400_000, "warmup cycles")
 		measure      = flag.Uint64("measure", 800_000, "measurement cycles")
 		seed         = flag.Int64("seed", 1, "random seed")
@@ -139,6 +148,23 @@ func main() {
 	cfg.SweepTX = *sweepTX
 	if *sweepTX {
 		cfg.Sweeper.TXSweep = true
+	}
+	cfg.Sweeper.Insn = *insn
+	cfg.Sweeper.SIMFBatchLines = *simfBatch
+	cfg.Sweeper.SIMFSetupCycles = *simfSetup
+	if *tierPolicy != "" {
+		tc := mem.DefaultTierConfig(*tierPolicy)
+		tc.DRAMBytes = *tierSplit
+		if *tierReadLat > 0 {
+			tc.ReadLatency = *tierReadLat
+		}
+		if *tierWriteLat > 0 {
+			tc.WriteLatency = *tierWriteLat
+		}
+		if *tierBW > 0 {
+			tc.BandwidthGBps = *tierBW
+		}
+		cfg.MemTier = tc
 	}
 	if *mlp > 0 {
 		cfg.MLPWidth = *mlp
@@ -227,6 +253,8 @@ func list(w *os.File) {
 	fmt.Fprintf(w, "registered workloads:          %s\n", strings.Join(workload.Names(), ", "))
 	fmt.Fprintf(w, "registered background streams: %s\n", strings.Join(workload.StreamNames(), ", "))
 	fmt.Fprintf(w, "registered arrival processes:  %s\n", strings.Join(nic.ArrivalNames(), ", "))
+	fmt.Fprintf(w, "invalidation instructions:     %s\n", strings.Join(core.InsnNames(), ", "))
+	fmt.Fprintf(w, "memory tier policies:          %s\n", strings.Join(mem.TierPolicies(), ", "))
 }
 
 // runScenario expands a spec file and simulates every run in order. A
@@ -438,9 +466,12 @@ func printResults(cfg machine.Config, r machine.Results) {
 		fmt.Printf("  %-14s %7.3f\n", k, r.AccessesPerRequest[k])
 	}
 	if r.Sweeper.SweptLines > 0 {
-		fmt.Printf("sweeper: %d relinquishes, %d lines swept, %d dirty dropped (%.2f GB/s saved)\n",
+		fmt.Printf("sweeper: %d relinquishes, %d lines swept, %d dirty dropped, %d written back (%.2f GB/s saved)\n",
 			r.Sweeper.Relinquishes, r.Sweeper.SweptLines,
-			r.Sweeper.DroppedDirtyLines, r.SweeperSavedGBps)
+			r.Sweeper.DroppedDirtyLines, r.Sweeper.WrittenBackLines, r.SweeperSavedGBps)
+	}
+	if r.Tier1Accesses > 0 {
+		fmt.Printf("tier1:           %d accesses, %.2f GB/s\n", r.Tier1Accesses, r.Tier1BWGBps)
 	}
 	if s := r.Sampled; s != nil {
 		detect := "budget expired"

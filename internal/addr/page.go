@@ -1,0 +1,17 @@
+package addr
+
+// Page granularity of hybrid-memory placement decisions: tier ownership is
+// decided per 4 KiB page, matching the OS mapping granularity the emulated
+// NUMA/CXL placement papers assume.
+const (
+	PageBytes = uint64(4096)
+	PageShift = 12
+)
+
+// PageOf returns the page number containing a.
+func PageOf(a uint64) uint64 { return a >> PageShift }
+
+// MaxLocalAddr is the largest local address the remote encoding can carry;
+// tier boundaries must stay at or below it so tiered addresses survive the
+// cluster's remote packing.
+const MaxLocalAddr = maxLocal

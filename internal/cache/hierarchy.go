@@ -101,9 +101,12 @@ type Hierarchy struct {
 	// the flat ffMemLat instead of modeled DRAM timing. Tag, LRU and
 	// dirtiness transitions are identical to timed operation, so the
 	// hierarchy's contents stay representative across fast-forward spans.
+	// ffLatFn, when set, overrides the flat latency per address so tiered
+	// memory stamps each page's owning tier's unloaded latency.
 	ff       bool
 	funcSink FuncMemSink
 	ffMemLat uint64
+	ffLatFn  func(a uint64) uint64
 
 	// nicMask restricts NIC write-allocations (the DDIO ways); cpuMask
 	// restricts CPU-side LLC fills per core (all ways by default, a
@@ -113,6 +116,8 @@ type Hierarchy struct {
 
 	sweeps     uint64
 	sweptDirty uint64
+	flushes    uint64
+	flushWBs   uint64
 
 	flow FlowStats
 }
@@ -173,8 +178,9 @@ func (h *Hierarchy) Reset() {
 	h.llc.Reset()
 	h.nicMask = MaskAll(h.cfg.LLCWays)
 	h.sweeps, h.sweptDirty = 0, 0
+	h.flushes, h.flushWBs = 0, 0
 	h.flow = FlowStats{}
-	h.ff, h.ffMemLat = false, 0
+	h.ff, h.ffMemLat, h.ffLatFn = false, 0, nil
 }
 
 // SetFastForward switches the hierarchy between timed and functional memory
@@ -194,7 +200,17 @@ func (h *Hierarchy) SetFastForward(on bool, memLat uint64) {
 	h.ffMemLat = 0
 	if on {
 		h.ffMemLat = memLat
+	} else {
+		h.ffLatFn = nil
 	}
+}
+
+// SetFastForwardLatency installs a per-address unloaded-latency function for
+// fast-forward demand reads, so a tiered memory system stamps NVM-resident
+// pages with their own tier's latency instead of the flat DRAM estimate.
+// Call it after SetFastForward(true, ...); disabling fast-forward clears it.
+func (h *Hierarchy) SetFastForwardLatency(fn func(a uint64) uint64) {
+	h.ffLatFn = fn
 }
 
 // FastForwarding reports whether the hierarchy is in functional mode.
@@ -205,6 +221,9 @@ func (h *Hierarchy) FastForwarding() bool { return h.ff }
 func (h *Hierarchy) demandRead(now uint64, a uint64, src Requestor) uint64 {
 	if h.ff {
 		h.funcSink.FuncDemandRead(a, src)
+		if h.ffLatFn != nil {
+			return now + h.ffLatFn(a)
+		}
 		return now + h.ffMemLat
 	}
 	return h.sink.DemandRead(now, a, src)
@@ -279,6 +298,8 @@ func (h *Hierarchy) RegisterMetrics(r *obs.Registry) {
 	r.Counter("llc.misses", h.llc.Misses)
 	r.Counter("llc.sweep_ops", func() uint64 { return h.sweeps })
 	r.Counter("llc.sweep_dropped_dirty", func() uint64 { return h.sweptDirty })
+	r.Counter("llc.flush_ops", func() uint64 { return h.flushes })
+	r.Counter("llc.flush_writebacks", func() uint64 { return h.flushWBs })
 	r.Gauge("llc.ddio_ways", func(uint64) float64 { return float64(h.nicMask.Count()) })
 }
 
@@ -289,6 +310,12 @@ func (h *Hierarchy) Flow() FlowStats { return h.flow }
 // lines they dropped (each dropped line is one 64B writeback avoided).
 func (h *Hierarchy) Sweeps() (ops, droppedDirty uint64) {
 	return h.sweeps, h.sweptDirty
+}
+
+// Flushes returns how many flush-class operations (clflush/clwb) were
+// executed and how many writebacks they issued.
+func (h *Hierarchy) Flushes() (ops, writebacks uint64) {
+	return h.flushes, h.flushWBs
 }
 
 // llcInsert places a line into the LLC under mask, writing back any dirty
@@ -544,11 +571,36 @@ func (h *Hierarchy) Sweep(now uint64, owner int, a uint64) bool {
 	return dropped
 }
 
+// Flush executes one clflush for line a: every copy in the hierarchy is
+// invalidated and a dirty copy is written back to memory first — the baseline
+// x86 semantics the paper contrasts clsweep against. A clean or absent line
+// is invalidated for free: no writeback is charged. It reports whether a
+// writeback was issued.
+func (h *Hierarchy) Flush(now uint64, owner int, a uint64) bool {
+	h.flushes++
+	dirty := false
+	if _, d := h.l1[owner].Invalidate(a); d {
+		dirty = true
+	}
+	if _, d := h.l2[owner].Invalidate(a); d {
+		dirty = true
+	}
+	if _, d := h.llc.Invalidate(a); d {
+		dirty = true
+	}
+	if dirty {
+		h.flushWBs++
+		h.writebackEvict(now, a)
+	}
+	return dirty
+}
+
 // CLWB writes line a back to DRAM if any level holds it dirty, leaving the
 // copies clean in place — the x86 CLWB semantics used by the paper's OS
 // page-recycling mitigation (§V-B). It reports whether a writeback was
 // issued.
 func (h *Hierarchy) CLWB(now uint64, owner int, a uint64) bool {
+	h.flushes++
 	dirty := false
 	if _, d := h.l1[owner].MakeClean(a); d {
 		dirty = true
@@ -560,6 +612,7 @@ func (h *Hierarchy) CLWB(now uint64, owner int, a uint64) bool {
 		dirty = true
 	}
 	if dirty {
+		h.flushWBs++
 		h.writebackEvict(now, a)
 	}
 	return dirty

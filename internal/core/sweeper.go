@@ -22,11 +22,19 @@ import (
 	"sweeper/internal/addr"
 )
 
-// Sweepable is the hardware side of the sweep message: invalidate a line
-// everywhere without writeback, reporting whether a dirty copy was dropped.
-// The cache hierarchy implements it.
+// Sweepable is the hardware side of the invalidation-instruction family.
+// The cache hierarchy implements it; the instruction registry (invalidate.go)
+// picks which hook a relinquish drives per line.
 type Sweepable interface {
+	// Sweep invalidates every copy of the line with no writeback (clsweep
+	// §V-B), reporting whether a dirty copy was dropped.
 	Sweep(now uint64, owner int, a uint64) bool
+	// Flush invalidates every copy, writing a dirty one back first
+	// (clflush), reporting whether a writeback was issued.
+	Flush(now uint64, owner int, a uint64) bool
+	// CLWB writes a dirty copy back and leaves the copies clean in place,
+	// reporting whether a writeback was issued.
+	CLWB(now uint64, owner int, a uint64) bool
 }
 
 // Config selects which sweeping mechanisms are active.
@@ -46,6 +54,17 @@ type Config struct {
 	// relinquished lines and flags reads before the next NIC overwrite
 	// (the undefined behaviour §V-A warns about).
 	DebugUseAfterRelinquish bool
+	// Insn names the invalidation instruction relinquish compiles into,
+	// from the registry in invalidate.go. Empty selects clsweep, the
+	// paper's primitive.
+	Insn string
+	// SIMFBatchLines is the number of lines one SIMF-style bulk flush
+	// covers (0 = 64); SIMFBatchCycles its per-operation issue cost
+	// (0 = 16); SIMFSetupCycles a fixed cost per relinquish. Only the
+	// simf instruction reads them.
+	SIMFBatchLines  int
+	SIMFBatchCycles int
+	SIMFSetupCycles int
 }
 
 // DefaultConfig enables RX sweeping with a 1-cycle clsweep issue cost.
@@ -55,12 +74,14 @@ func DefaultConfig() Config {
 
 // Sweeper binds the software API to the simulated hardware.
 type Sweeper struct {
-	cfg Config
-	hw  Sweepable
+	cfg  Config
+	hw   Sweepable
+	insn *InsnRegistration
 
 	relinquishes uint64
 	sweptLines   uint64
 	droppedDirty uint64
+	wroteBack    uint64
 	nicSweeps    uint64
 
 	relinquished map[uint64]bool // debug sanitizer state
@@ -72,7 +93,7 @@ func New(hw Sweepable, cfg Config) *Sweeper {
 	if hw == nil {
 		panic("core: nil Sweepable hardware")
 	}
-	s := &Sweeper{cfg: cfg, hw: hw}
+	s := &Sweeper{cfg: cfg, hw: hw, insn: mustInsn(cfg)}
 	if cfg.DebugUseAfterRelinquish {
 		s.relinquished = make(map[uint64]bool)
 	}
@@ -83,7 +104,8 @@ func New(hw Sweepable, cfg Config) *Sweeper {
 // different) configuration, as New over the same hardware would produce.
 func (s *Sweeper) Reset(cfg Config) {
 	s.cfg = cfg
-	s.relinquishes, s.sweptLines, s.droppedDirty, s.nicSweeps = 0, 0, 0, 0
+	s.insn = mustInsn(cfg)
+	s.relinquishes, s.sweptLines, s.droppedDirty, s.wroteBack, s.nicSweeps = 0, 0, 0, 0, 0
 	s.relinquished = nil
 	if cfg.DebugUseAfterRelinquish {
 		s.relinquished = make(map[uint64]bool)
@@ -114,7 +136,7 @@ func (s *Sweeper) Relinquish(now uint64, core int, buf, size uint64) uint64 {
 	}
 	s.relinquishes++
 	lines := s.sweepRange(now, core, buf, size)
-	return now + lines*s.cfg.IssueCyclesPerLine
+	return now + s.insn.IssueCycles(s.cfg, lines)
 }
 
 // NICSweep is the transmit-path variant (§V-D): after the NIC has read and
@@ -132,10 +154,15 @@ func (s *Sweeper) NICSweep(now uint64, owner int, buf, size uint64) {
 func (s *Sweeper) sweepRange(now uint64, owner int, buf, size uint64) uint64 {
 	first := buf & addr.LineMask
 	last := (buf + size - 1) & addr.LineMask
+	line := s.insn.Line
 	var lines uint64
 	for a := first; ; a += addr.LineBytes {
-		if s.hw.Sweep(now, owner, a) {
+		dropped, wb := line(s.hw, now, owner, a)
+		if dropped {
 			s.droppedDirty++
+		}
+		if wb {
+			s.wroteBack++
 		}
 		s.sweptLines++
 		lines++
@@ -187,6 +214,9 @@ type Stats struct {
 	// DroppedDirtyLines counts dirty lines invalidated without writeback;
 	// each is 64 bytes of DRAM write bandwidth conserved.
 	DroppedDirtyLines uint64
+	// WrittenBackLines counts dirty lines the relinquish instruction
+	// itself wrote back (clflush/clwb/simf; always 0 for clsweep).
+	WrittenBackLines uint64
 }
 
 // Stats returns a snapshot of Sweeper activity counters.
@@ -196,6 +226,7 @@ func (s *Sweeper) Stats() Stats {
 		NICSweeps:         s.nicSweeps,
 		SweptLines:        s.sweptLines,
 		DroppedDirtyLines: s.droppedDirty,
+		WrittenBackLines:  s.wroteBack,
 	}
 }
 

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"sweeper/internal/core"
 	"sweeper/internal/machine"
 	"sweeper/internal/nic"
 	"sweeper/internal/scenario"
@@ -18,13 +17,16 @@ type Variant struct {
 	Sweeper bool
 }
 
-// Apply stamps the variant onto a config.
+// Apply stamps the variant onto a config. The Sweeper toggle mutates in
+// place so the base machine's invalidation-instruction selection and simf
+// batch knobs survive variant application.
 func (v Variant) Apply(cfg machine.Config) machine.Config {
 	cfg.NICMode = v.Mode
 	if v.Mode == nic.ModeDDIO {
 		cfg.DDIOWays = v.Ways
 	}
-	cfg.Sweeper = core.Config{RXSweep: v.Sweeper, IssueCyclesPerLine: 1}
+	cfg.Sweeper.RXSweep = v.Sweeper
+	cfg.Sweeper.IssueCyclesPerLine = 1
 	return cfg
 }
 

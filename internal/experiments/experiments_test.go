@@ -323,7 +323,7 @@ func TestCellFromResults(t *testing.T) {
 func TestRegistryNames(t *testing.T) {
 	names := Names()
 	want := []string{"alternatives", "cluster", "fig1", "fig10", "fig2", "fig5",
-		"fig6", "fig7", "fig8", "fig9", "policies", "slo"}
+		"fig6", "fig7", "fig8", "fig9", "policies", "slo", "tiers"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}

@@ -368,6 +368,7 @@ func Registry() map[string]func(Scale) []Table {
 		"alternatives": Alternatives,
 		"cluster":      ClusterScaling,
 		"slo":          SLOCurve,
+		"tiers":        Tiers,
 	}
 }
 

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"sweeper/internal/core"
+	"sweeper/internal/machine"
+	"sweeper/internal/mem"
+)
+
+// tiersRate is the fixed offered load of the tiers study: high enough that
+// writeback traffic matters, low enough that every cell serves it without
+// saturating, so cells compare instruction cost rather than drop behaviour.
+const tiersRate = 8.0
+
+// tierMemory is one memory organization of the tiers study.
+type tierMemory struct {
+	name string
+	cfg  mem.TierConfig
+}
+
+// tierMemories contrasts the DRAM-only Table I server with a hybrid machine
+// whose application heap beyond 16 MiB lives on an NVM/CXL-class tier (static
+// split, so the figure is independent of migration dynamics).
+func tierMemories() []tierMemory {
+	hybrid := mem.DefaultTierConfig(mem.TierStatic)
+	hybrid.DRAMBytes = 16 << 20
+	return []tierMemory{
+		{"dram-only", mem.TierConfig{}},
+		{"hybrid", hybrid},
+	}
+}
+
+// Tiers sweeps the invalidation-instruction family across memory
+// organizations: each registered instruction (clsweep, clflush, clwb, simf)
+// runs the KVS at a fixed offered load on a DRAM-only and a hybrid-tier
+// machine. The cells separate on write traffic — clsweep drops relinquished
+// dirty lines without writing them back, clflush/clwb force them to memory
+// (which the slow tier's write asymmetry amplifies), simf pays clflush's
+// traffic at batch issue cost.
+func Tiers(sc Scale) []Table {
+	type tJob struct {
+		insn, memory string
+		cfg          machine.Config
+		res          machine.Results
+	}
+	var jobs []tJob
+	for _, m := range tierMemories() {
+		for _, insn := range core.InsnNames() {
+			cfg := KVSConfig(1024, 1024)
+			cfg = DDIOVariant(2, true).Apply(cfg)
+			cfg.Sweeper.Insn = insn
+			cfg.MemTier = m.cfg
+			jobs = append(jobs, tJob{insn: insn, memory: m.name, cfg: cfg})
+		}
+	}
+	parallelFor(len(jobs), sc, func(i int) {
+		jobs[i].res = RunAtRate(jobs[i].cfg, tiersRate, sc)
+	})
+
+	t := Table{
+		ID:     "tiers",
+		Title:  "Invalidation instruction x memory tier (KVS, 1KB items, 8 Mrps)",
+		Metric: "mrps",
+	}
+	for _, j := range jobs {
+		r := j.res
+		t.Cells = append(t.Cells, CellFromResults(j.memory, j.insn, r).
+			WithExtra("swept_lines", float64(r.Sweeper.SweptLines)).
+			WithExtra("written_back_lines", float64(r.Sweeper.WrittenBackLines)).
+			WithExtra("dropped_dirty_lines", float64(r.Sweeper.DroppedDirtyLines)).
+			WithExtra("tier1_gbps", r.Tier1BWGBps).
+			WithExtra("dram_gbps", r.MemBWGBps).
+			WithExtra("p99_req", float64(r.ReqLatP99)))
+	}
+	return []Table{t}
+}

@@ -70,6 +70,12 @@ type Config struct {
 	Sweeper core.Config
 	SweepTX bool
 
+	// MemTier configures the hybrid second memory tier (ROADMAP item 4a).
+	// The zero value keeps the machine DRAM-only. Like Shards, MemTier is
+	// not machine geometry: the tier structures are rebuilt on every
+	// configure, so pooled machines may toggle tiering across Resets.
+	MemTier mem.TierConfig
+
 	// Traffic: OfferedMrps drives the open-loop arrival process; a
 	// positive ClosedLoopDepth switches to the §IV-B keep-D-queued
 	// closed loop instead. Arrival selects and tunes the open-loop
@@ -303,6 +309,12 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Sampling.validate(); err != nil {
 		return err
+	}
+	if err := c.Sweeper.Validate(); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	if err := c.MemTier.Validate(); err != nil {
+		return fmt.Errorf("machine: %w", err)
 	}
 	if err := c.Arrival.Validate(); err != nil {
 		return err

@@ -22,6 +22,12 @@ type datapath struct {
 	hier  *cache.Hierarchy
 	dram  *mem.DDR4
 
+	// Hybrid-memory second tier; nil when tiering is off, so the DRAM-only
+	// fast path costs one pointer test per transaction. place decides per
+	// access which tier owns the address.
+	tier1 *mem.Tier1
+	place *mem.Placement
+
 	// Cumulative accounting (window deltas are taken at snap).
 	breakdown stats.Breakdown
 	dramLat   *stats.Histogram
@@ -58,6 +64,7 @@ func newDatapath(eng *sim.Engine, space *addr.Space, memCfg mem.Config, cacheCfg
 func (dp *datapath) reset() {
 	dp.space.Reset()
 	dp.dram.Reset()
+	dp.tier1, dp.place = nil, nil
 	dp.hier.Reset()
 	dp.dramLat.Reset()
 	dp.breakdown.Reset()
@@ -91,6 +98,55 @@ func (dp *datapath) configure(cfg Config) {
 	}
 	dp.dynEpoch = cfg.DynamicDDIOEpoch
 	dp.llcWays = cfg.Cache.LLCWays
+	if cfg.MemTier.Enabled() {
+		dp.tier1 = mem.NewTier1(cfg.MemTier, cfg.FreqHz)
+		dp.place = mem.NewPlacement(cfg.MemTier, dp.space.AppBase())
+	}
+}
+
+// memRead routes a timed line read to the owning tier.
+func (dp *datapath) memRead(now uint64, a uint64) uint64 {
+	if dp.tier1 != nil && dp.place.Route(now, a) {
+		return dp.tier1.Read(now, a)
+	}
+	return dp.dram.Read(now, a)
+}
+
+// memWrite routes a timed line write to the owning tier.
+func (dp *datapath) memWrite(now uint64, a uint64) {
+	if dp.tier1 != nil && dp.place.Route(now, a) {
+		dp.tier1.Write(now, a)
+		return
+	}
+	dp.dram.Write(now, a)
+}
+
+// funcMemRead routes a functional (fast-forward) read to the owning tier.
+func (dp *datapath) funcMemRead(a uint64) {
+	if dp.tier1 != nil && dp.place.Route(dp.eng.Now(), a) {
+		dp.tier1.FuncRead(a)
+		return
+	}
+	dp.dram.FuncRead(a)
+}
+
+// funcMemWrite routes a functional write to the owning tier.
+func (dp *datapath) funcMemWrite(a uint64) {
+	if dp.tier1 != nil && dp.place.Route(dp.eng.Now(), a) {
+		dp.tier1.FuncWrite(a)
+		return
+	}
+	dp.dram.FuncWrite(a)
+}
+
+// ffLat is the fast-forward unloaded-latency stamp: the owning tier's
+// best-case read latency rather than the flat DRAM estimate, so sampled
+// runs do not silently mis-stamp NVM-resident pages.
+func (dp *datapath) ffLat(a uint64) uint64 {
+	if dp.tier1 != nil && dp.place.Resident(a) {
+		return dp.tier1.UnloadedReadLatency()
+	}
+	return dp.dram.UnloadedReadLatency()
 }
 
 // readKind classifies a demand read into the paper's breakdown categories by
@@ -124,7 +180,7 @@ func (dp *datapath) evictKind(a uint64) stats.AccessKind {
 // DemandRead implements cache.MemSink, classifying the transaction into the
 // paper's breakdown categories by requestor and address class.
 func (dp *datapath) DemandRead(now uint64, a uint64, src cache.Requestor) uint64 {
-	done := dp.dram.Read(now, a)
+	done := dp.memRead(now, a)
 	kind := dp.readKind(a, src)
 	dp.breakdown.Add(kind, 1)
 	if dp.measuring {
@@ -138,7 +194,7 @@ func (dp *datapath) DemandRead(now uint64, a uint64, src cache.Requestor) uint64
 
 // WritebackEvict implements cache.MemSink.
 func (dp *datapath) WritebackEvict(now uint64, a uint64) {
-	dp.dram.Write(now, a)
+	dp.memWrite(now, a)
 	kind := dp.evictKind(a)
 	dp.breakdown.Add(kind, 1)
 	if dp.measuring && dp.trace != nil {
@@ -148,7 +204,7 @@ func (dp *datapath) WritebackEvict(now uint64, a uint64) {
 
 // DMAWrite implements cache.MemSink.
 func (dp *datapath) DMAWrite(now uint64, a uint64) {
-	dp.dram.Write(now, a)
+	dp.memWrite(now, a)
 	dp.breakdown.Add(stats.NICRXWr, 1)
 	if dp.measuring && dp.trace != nil {
 		dp.trace(TraceEvent{Cycle: now, Addr: a, Kind: stats.NICRXWr})
@@ -162,19 +218,19 @@ func (dp *datapath) DMAWrite(now uint64, a uint64) {
 // Nothing is recorded into the latency histogram or trace: fast-forward
 // intervals never overlap measurement.
 func (dp *datapath) FuncDemandRead(a uint64, src cache.Requestor) {
-	dp.dram.FuncRead(a)
+	dp.funcMemRead(a)
 	dp.breakdown.Add(dp.readKind(a, src), 1)
 }
 
 // FuncWriteback implements cache.FuncMemSink.
 func (dp *datapath) FuncWriteback(a uint64) {
-	dp.dram.FuncWrite(a)
+	dp.funcMemWrite(a)
 	dp.breakdown.Add(dp.evictKind(a), 1)
 }
 
 // FuncDMAWrite implements cache.FuncMemSink.
 func (dp *datapath) FuncDMAWrite(a uint64) {
-	dp.dram.FuncWrite(a)
+	dp.funcMemWrite(a)
 	dp.breakdown.Add(stats.NICRXWr, 1)
 }
 

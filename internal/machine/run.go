@@ -59,6 +59,12 @@ type Results struct {
 	XMemAccesses uint64
 	// LLCMissRatio is the shared-cache miss ratio over the window.
 	LLCMissRatio float64
+	// Tier1Accesses counts memory transactions served by the hybrid second
+	// tier in the window; Tier1BWGBps is the bandwidth they consumed. Both
+	// are zero on DRAM-only machines. MemBWGBps above remains DRAM-only, so
+	// tiered and untiered runs compare like for like.
+	Tier1Accesses uint64
+	Tier1BWGBps   float64
 	// Sweeper summarizes sweep activity over the whole run.
 	Sweeper core.Stats
 	// SweeperSavedGBps is the DRAM write bandwidth the sweeps avoided.
@@ -88,6 +94,7 @@ func totalPerReq(b [stats.NumKinds]float64) float64 {
 type windowSnap struct {
 	breakdown  [stats.NumKinds]uint64
 	dramTxns   uint64
+	tierTxns   uint64
 	served     uint64
 	offered    uint64
 	dropped    uint64
@@ -149,6 +156,9 @@ func (m *Machine) snap() windowSnap {
 		llcHits:   m.dp.hier.LLC().Hits(),
 		llcMisses: m.dp.hier.LLC().Misses(),
 		start:     m.eng.Now(),
+	}
+	if m.dp.tier1 != nil {
+		s.tierTxns = m.dp.tier1.Transactions()
 	}
 	if m.agen != nil {
 		s.offered = m.agen.Offered()
@@ -254,6 +264,11 @@ func (m *Machine) collect(snap windowSnap, measure uint64) Results {
 	txns := m.dp.dram.Transactions() - snap.dramTxns
 	r.MemBWGBps = stats.GBps(txns, measure, freq)
 	r.MemBWUtilization = r.MemBWGBps / m.dp.dram.PeakGBps(freq)
+
+	if m.dp.tier1 != nil {
+		r.Tier1Accesses = m.dp.tier1.Transactions() - snap.tierTxns
+		r.Tier1BWGBps = stats.GBps(r.Tier1Accesses, measure, freq)
+	}
 
 	r.AccessCounts = m.dp.breakdown.Sub(snap.breakdown)
 	r.AccessesPerRequest = stats.PerRequest(r.AccessCounts, r.Served)

@@ -70,11 +70,16 @@ func (m *Machine) FastForwarding() bool { return m.ff }
 
 // setFastForward flips the whole machine between timed and functional
 // execution: the hierarchy reroutes its memory sink to the functional
-// datapath entry points (misses complete at the DRAM unloaded latency), and
-// cores pick up the flag on their next poll.
+// datapath entry points (misses complete at the owning tier's unloaded
+// latency), and cores pick up the flag on their next poll. On tiered
+// machines a per-address stamp replaces the flat DRAM estimate — an
+// NVM-resident page's miss must cost its own tier's latency.
 func (m *Machine) setFastForward(on bool) {
 	m.ff = on
 	m.dp.hier.SetFastForward(on, m.dp.dram.UnloadedReadLatency())
+	if on && m.dp.tier1 != nil {
+		m.dp.hier.SetFastForwardLatency(m.dp.ffLat)
+	}
 }
 
 // setPhase tags the observability time-series, when one is armed.
@@ -331,6 +336,7 @@ func (m *Machine) runSampled(warmup uint64) Results {
 			served, offered, dropped, xmem uint64
 			svcSum, svcCnt                 uint64
 			hits, misses, sweepDrops       uint64
+			tierAccesses                   uint64
 		}
 		counts    [stats.NumKinds]uint64
 		intervals int
@@ -368,6 +374,7 @@ func (m *Machine) runSampled(warmup uint64) Results {
 		sums.misses += m.dp.hier.LLC().Misses() - s.llcMisses
 		_, drops := m.dp.hier.Sweeps()
 		sums.sweepDrops += drops - s.sweepDrops
+		sums.tierAccesses += ri.Tier1Accesses
 		for k := range counts {
 			counts[k] += ri.AccessCounts[k]
 		}
@@ -422,6 +429,8 @@ func (m *Machine) runSampled(warmup uint64) Results {
 	}
 	r.Sweeper = m.sweep.Stats()
 	r.SweeperSavedGBps = stats.GBps(sums.sweepDrops, total, freq)
+	r.Tier1Accesses = sums.tierAccesses
+	r.Tier1BWGBps = stats.GBps(sums.tierAccesses, total, freq)
 	r.Sampled = &SamplingSummary{
 		Mode:              sc.Mode,
 		Intervals:         intervals,

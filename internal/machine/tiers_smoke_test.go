@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"sweeper/internal/core"
+	"sweeper/internal/mem"
+	"sweeper/internal/obs"
+)
+
+// TestTiersManifestSmoke validates a hybrid-memory run's manifest. When
+// SWEEPER_TIERS_MANIFEST is set (the `make tiers-smoke` path: sweepersim runs
+// tiered with SIMF invalidation and writes the manifest), it checks that
+// file; otherwise it generates its own from a short in-process run, so the
+// contract is also guarded under plain `go test`.
+func TestTiersManifestSmoke(t *testing.T) {
+	var data []byte
+	if path := os.Getenv("SWEEPER_TIERS_MANIFEST"); path != "" {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = b
+	} else {
+		cfg := quickCfg()
+		cfg.OfferedMrps = 5
+		cfg.Sweeper.RXSweep = true
+		cfg.Sweeper.Insn = core.InsnSIMF
+		cfg.MemTier = mem.DefaultTierConfig(mem.TierHotPage)
+		cfg.MemTier.DRAMBytes = 16 << 20
+		m := MustNew(cfg)
+		r := m.Run(300_000, 200_000)
+		var buf bytes.Buffer
+		if err := obs.WriteManifest(&buf, m.BuildManifest("tiers smoke", r)); err != nil {
+			t.Fatal(err)
+		}
+		data = buf.Bytes()
+	}
+
+	var man struct {
+		Config struct {
+			Sweeper struct {
+				Insn string `json:"Insn"`
+			} `json:"Sweeper"`
+			MemTier struct {
+				Policy        string  `json:"Policy"`
+				BandwidthGBps float64 `json:"BandwidthGBps"`
+			} `json:"MemTier"`
+		} `json:"config"`
+		Results struct {
+			Served        uint64  `json:"Served"`
+			Tier1Accesses uint64  `json:"Tier1Accesses"`
+			Tier1BWGBps   float64 `json:"Tier1BWGBps"`
+			Sweeper       struct {
+				SweptLines       uint64 `json:"SweptLines"`
+				WrittenBackLines uint64 `json:"WrittenBackLines"`
+			} `json:"Sweeper"`
+		} `json:"results"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatalf("tiers manifest does not parse: %v", err)
+	}
+	if man.Config.Sweeper.Insn != core.InsnSIMF {
+		t.Fatalf("manifest instruction %q, want %q", man.Config.Sweeper.Insn, core.InsnSIMF)
+	}
+	if man.Config.MemTier.Policy == "" || man.Config.MemTier.BandwidthGBps <= 0 {
+		t.Fatalf("manifest lost the tier config: %+v", man.Config.MemTier)
+	}
+	if man.Results.Served == 0 {
+		t.Fatal("tiered run served nothing")
+	}
+	if man.Results.Tier1Accesses == 0 || man.Results.Tier1BWGBps <= 0 {
+		t.Fatalf("tiered run never touched tier 1: %+v", man.Results)
+	}
+	if man.Results.Sweeper.SweptLines == 0 || man.Results.Sweeper.WrittenBackLines == 0 {
+		t.Fatalf("simf relinquish left no trace: %+v", man.Results.Sweeper)
+	}
+	for _, key := range []string{"mem.tier1.reads", "mem.tier1.writes", "mem.tier1.bus_busy_cycles",
+		"mem.tier1.promotions", "mem.tier1.hot_pages", "cpu.served"} {
+		if _, ok := man.Metrics[key]; !ok {
+			t.Errorf("manifest missing metric %q", key)
+		}
+	}
+	if man.Metrics["mem.tier1.writes"] == 0 {
+		t.Error("tier-1 write counter never advanced")
+	}
+}

@@ -11,9 +11,9 @@ import (
 
 	"sweeper/internal/cache"
 	"sweeper/internal/cluster"
-	"sweeper/internal/core"
 	"sweeper/internal/fabric"
 	"sweeper/internal/machine"
+	"sweeper/internal/mem"
 	"sweeper/internal/nic"
 )
 
@@ -64,6 +64,15 @@ type Knobs struct {
 	// axes can sweep them.
 	Topology string `json:"topology,omitempty"`
 	LBPolicy string `json:"lb_policy,omitempty"`
+	// InvalidateInsn names the relinquish instruction in the core
+	// registry ("clsweep", "clflush", "clwb", "simf"; empty keeps
+	// clsweep). The simf_* batch knobs live in Set.
+	InvalidateInsn string `json:"invalidate_insn,omitempty"`
+	// MemTierPolicy enables the hybrid second memory tier under the named
+	// placement policy ("static" or "hotpage"; empty keeps the machine
+	// DRAM-only), starting from mem.DefaultTierConfig. The numeric tier
+	// knobs (mem_tier_split, mem_tier_read_lat, ...) live in Set.
+	MemTierPolicy string `json:"mem_tier_policy,omitempty"`
 	// Set holds numeric knob overrides, applied in any order (each knob
 	// writes an independent configuration field).
 	Set map[string]float64 `json:"set,omitempty"`
@@ -182,9 +191,13 @@ func (v Variant) Apply(cfg machine.Config) (machine.Config, error) {
 		}
 		cfg.DDIOWays = v.Ways
 	}
-	cfg.Sweeper = core.Config{RXSweep: v.Sweeper, IssueCyclesPerLine: 1}
+	// Mutate the sweep toggles in place rather than overwriting the whole
+	// Sweeper config, so the base machine's instruction selection and
+	// simf batch knobs survive variant application.
+	cfg.Sweeper.RXSweep = v.Sweeper
+	cfg.Sweeper.TXSweep = v.TXSweep
+	cfg.Sweeper.IssueCyclesPerLine = 1
 	if v.TXSweep {
-		cfg.Sweeper.TXSweep = true
 		cfg.SweepTX = true
 	}
 	return cfg, nil
@@ -294,6 +307,24 @@ func applyMachineKnob(cfg *machine.Config, knob string, v float64) error {
 		cfg.Sampling.WarmupWindows = int(v)
 	case "sample_max_rel_ci":
 		cfg.Sampling.MaxRelCI = v
+	case "mem_tier_split":
+		cfg.MemTier.DRAMBytes = uint64(v)
+	case "mem_tier_read_lat":
+		cfg.MemTier.ReadLatency = uint64(v)
+	case "mem_tier_write_lat":
+		cfg.MemTier.WriteLatency = uint64(v)
+	case "mem_tier_bw_gbps":
+		cfg.MemTier.BandwidthGBps = v
+	case "mem_tier_hot_thresh":
+		cfg.MemTier.HotPageThreshold = int(v)
+	case "mem_tier_hot_epoch":
+		cfg.MemTier.HotPageEpochCycles = uint64(v)
+	case "simf_batch_lines":
+		cfg.Sweeper.SIMFBatchLines = int(v)
+	case "simf_batch_cycles":
+		cfg.Sweeper.SIMFBatchCycles = int(v)
+	case "simf_setup_cycles":
+		cfg.Sweeper.SIMFSetupCycles = int(v)
 	case "partition_split":
 		// The §VI-E disjoint partition: the NIC and networked cores get
 		// the first n LLC ways, collocated tenants the rest.
@@ -332,6 +363,12 @@ func (s Spec) baseConfig() (runConfig, error) {
 	}
 	if s.Machine.WarmLLC != nil {
 		rc.m.WarmLLC = *s.Machine.WarmLLC
+	}
+	if s.Machine.InvalidateInsn != "" {
+		rc.m.Sweeper.Insn = s.Machine.InvalidateInsn
+	}
+	if s.Machine.MemTierPolicy != "" {
+		rc.m.MemTier = mem.DefaultTierConfig(s.Machine.MemTierPolicy)
 	}
 	for knob, v := range s.Machine.Set {
 		if err := applyKnob(&rc, knob, v); err != nil {

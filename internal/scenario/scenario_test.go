@@ -348,6 +348,36 @@ func TestClusterKnobValidation(t *testing.T) {
 	}
 }
 
+// TestTierKnobValidation mirrors TestClusterKnobValidation for the hybrid
+// memory tier and invalidation-instruction knobs: contradictory combinations
+// must fail at expansion, before any simulation runs.
+func TestTierKnobValidation(t *testing.T) {
+	bad := map[string]Spec{
+		"unknown instruction": {Name: "x", Machine: Knobs{InvalidateInsn: "clzap"}},
+		"unknown tier policy": {Name: "x", Machine: Knobs{MemTierPolicy: "warm"}},
+		"tier split past address space": {Name: "x", Machine: Knobs{MemTierPolicy: "static",
+			Set: map[string]float64{"mem_tier_split": float64(uint64(1) << 49)}}},
+		"tier zero bandwidth": {Name: "x", Machine: Knobs{MemTierPolicy: "static",
+			Set: map[string]float64{"mem_tier_bw_gbps": 0}}},
+		"tier zero read latency": {Name: "x", Machine: Knobs{MemTierPolicy: "static",
+			Set: map[string]float64{"mem_tier_read_lat": 0}}},
+		"hot epoch too short": {Name: "x", Machine: Knobs{MemTierPolicy: "hotpage",
+			Set: map[string]float64{"mem_tier_hot_epoch": 16}}},
+		"negative simf batch": {Name: "x", Machine: Knobs{InvalidateInsn: "simf",
+			Set: map[string]float64{"simf_batch_lines": -1}}},
+	}
+	for name, s := range bad {
+		if _, err := s.Expand(); err == nil {
+			t.Errorf("%s: expanded", name)
+		}
+	}
+	good := Spec{Name: "x", Machine: Knobs{InvalidateInsn: "simf", MemTierPolicy: "hotpage",
+		Set: map[string]float64{"mem_tier_split": 1 << 24, "simf_batch_lines": 32}}}
+	if _, err := good.Expand(); err != nil {
+		t.Errorf("tiered simf spec rejected: %v", err)
+	}
+}
+
 // TestClusterConfigHelper checks the sweepless ClusterConfig view used by
 // the CLI's -nodes flag.
 func TestClusterConfigHelper(t *testing.T) {

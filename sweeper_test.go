@@ -54,7 +54,7 @@ func TestFacadeModesAndWorkloads(t *testing.T) {
 
 func TestFacadeExperimentsRegistry(t *testing.T) {
 	names := sweeper.ExperimentNames()
-	if len(names) != 11 {
+	if len(names) != 13 {
 		t.Fatalf("experiments = %v", names)
 	}
 	reg := sweeper.Experiments()
